@@ -1,0 +1,255 @@
+//! The corpus driver: entries, expected paper numbers, and the
+//! run-and-analyze pipeline reproducing Tables 2 and 3.
+
+use std::error::Error;
+use std::fmt;
+
+use std::collections::BTreeSet;
+
+use droidracer_core::{Analysis, CategoryCounts, RaceCategory};
+use droidracer_explorer::{enumerate_sequences, ExplorerConfig};
+use droidracer_framework::{compile, App, CompileError, UiEvent};
+use droidracer_sim::{run, RandomScheduler, SimConfig, SimError};
+use droidracer_trace::{MemLoc, Trace, TraceStats};
+
+use crate::motifs::GroundTruth;
+use crate::strip::strip_untracked;
+
+/// The numbers the paper reports for one application (Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PaperRow {
+    /// Lines of code (open-source apps only).
+    pub loc: Option<u32>,
+    /// Trace length (Table 2).
+    pub trace_length: usize,
+    /// Distinct fields accessed (Table 2).
+    pub fields: usize,
+    /// Threads without task queues (Table 2).
+    pub threads_without_queues: usize,
+    /// Threads with task queues (Table 2).
+    pub threads_with_queues: usize,
+    /// Asynchronous tasks (Table 2).
+    pub async_tasks: usize,
+    /// Races reported per category (Table 3, the `X` of `X(Y)`).
+    pub reported: CategoryCounts,
+    /// Verified true positives per category (Table 3, the `Y`), known for
+    /// the open-source applications only.
+    pub verified: Option<CategoryCounts>,
+}
+
+/// One synthetic application of the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Application name, matching Table 2.
+    pub name: &'static str,
+    /// Whether the original is open source (Table 2's horizontal rule).
+    pub open_source: bool,
+    /// The framework-level app model.
+    pub app: App,
+    /// The representative UI event sequence (the paper drives 1–7 events).
+    pub events: Vec<UiEvent>,
+    /// Scheduler seed for the representative run.
+    pub seed: u64,
+    /// The numbers the paper reports.
+    pub paper: PaperRow,
+    /// Planted-race ground truth.
+    pub truth: GroundTruth,
+}
+
+/// A corpus failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// The app model did not compile.
+    Compile(CompileError),
+    /// The simulation failed.
+    Sim(SimError),
+    /// The run did not reach quiescence within the step budget.
+    Incomplete {
+        /// The app that stalled.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Compile(e) => write!(f, "compile error: {e}"),
+            CorpusError::Sim(e) => write!(f, "simulation error: {e}"),
+            CorpusError::Incomplete { name } => write!(f, "run of {name} did not complete"),
+        }
+    }
+}
+
+impl Error for CorpusError {}
+
+impl From<CompileError> for CorpusError {
+    fn from(e: CompileError) -> Self {
+        CorpusError::Compile(e)
+    }
+}
+
+impl From<SimError> for CorpusError {
+    fn from(e: SimError) -> Self {
+        CorpusError::Sim(e)
+    }
+}
+
+impl CorpusEntry {
+    /// Runs the representative test: compile, simulate under the entry's
+    /// seed, and strip untracked operations — yielding the trace the Race
+    /// Detector analyzes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if compilation or simulation fails or the run
+    /// stalls.
+    pub fn generate_trace(&self) -> Result<Trace, CorpusError> {
+        let compiled = compile(&self.app, &self.events)?;
+        let result = run(
+            &compiled.program,
+            &mut RandomScheduler::new(self.seed),
+            &SimConfig { max_steps: 600_000 },
+        )?;
+        if !result.completed {
+            return Err(CorpusError::Incomplete { name: self.name });
+        }
+        Ok(strip_untracked(&result.trace))
+    }
+
+    /// Full pipeline: trace generation + happens-before analysis + race
+    /// classification + ground-truth matching.
+    ///
+    /// # Errors
+    ///
+    /// See [`CorpusEntry::generate_trace`].
+    pub fn analyze(&self) -> Result<EntryReport, CorpusError> {
+        let trace = self.generate_trace()?;
+        let stats = TraceStats::of(&trace);
+        let analysis = Analysis::run(&trace);
+        let mut reported = CategoryCounts::default();
+        let mut verified = CategoryCounts::default();
+        let names = analysis.trace().names();
+        for cr in analysis.representatives() {
+            reported.add(cr.category, 1);
+            let field = names.field_name(cr.race.loc.field);
+            if self.truth.get(&field).is_some_and(|t| t.is_true) {
+                verified.add(cr.category, 1);
+            }
+        }
+        Ok(EntryReport {
+            stats,
+            reported,
+            verified,
+            analysis,
+        })
+    }
+}
+
+/// Summary of a full exploration of one app: every UI event sequence up to
+/// the depth bound executed and analyzed — the paper's per-application
+/// testing campaign ("for each application, DroidRacer found tests which
+/// manifested one or more races").
+#[derive(Debug, Clone)]
+pub struct ExplorationSummary {
+    /// Number of event sequences executed.
+    pub tests: usize,
+    /// How many manifested at least one race.
+    pub racy_tests: usize,
+    /// Distinct racy memory locations across all tests.
+    pub racy_locations: usize,
+    /// Union of representative race counts per category across tests
+    /// (deduplicated by location).
+    pub union: CategoryCounts,
+}
+
+impl CorpusEntry {
+    /// Runs the full pipeline — systematic UI exploration, trace generation,
+    /// stripping, happens-before analysis — over every event sequence up to
+    /// `depth` (capped at `max_sequences`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if any sequence fails to compile or simulate.
+    pub fn explore(&self, depth: usize, max_sequences: usize) -> Result<ExplorationSummary, CorpusError> {
+        let config = ExplorerConfig {
+            max_depth: depth,
+            max_sequences,
+            seed: self.seed,
+            max_steps: 600_000,
+        };
+        let mut tests = 0;
+        let mut racy_tests = 0;
+        let mut seen: BTreeSet<(MemLoc, RaceCategory)> = BTreeSet::new();
+        for events in enumerate_sequences(&self.app, &config) {
+            let compiled = compile(&self.app, &events)?;
+            let result = run(
+                &compiled.program,
+                &mut RandomScheduler::new(self.seed.wrapping_add(tests as u64)),
+                &SimConfig { max_steps: 600_000 },
+            )?;
+            tests += 1;
+            let trace = strip_untracked(&result.trace);
+            let analysis = Analysis::run(&trace);
+            if !analysis.races().is_empty() {
+                racy_tests += 1;
+            }
+            for cr in analysis.representatives() {
+                seen.insert((cr.race.loc, cr.category));
+            }
+        }
+        let mut union = CategoryCounts::default();
+        let mut locs = BTreeSet::new();
+        for (loc, cat) in &seen {
+            union.add(*cat, 1);
+            locs.insert(*loc);
+        }
+        Ok(ExplorationSummary {
+            tests,
+            racy_tests,
+            racy_locations: locs.len(),
+            union,
+        })
+    }
+}
+
+/// Measured results for one corpus entry.
+#[derive(Debug, Clone)]
+pub struct EntryReport {
+    /// Table 2-style trace statistics.
+    pub stats: TraceStats,
+    /// Races reported per category (Table 3 `X`).
+    pub reported: CategoryCounts,
+    /// Reported races whose planted ground truth is a real race (`Y`).
+    pub verified: CategoryCounts,
+    /// The full analysis (trace, happens-before, races).
+    pub analysis: Analysis,
+}
+
+impl EntryReport {
+    /// Reported races whose field has no ground-truth annotation at all
+    /// (unplanned reports — should be zero for a well-formed entry).
+    pub fn unplanned(&self, truth: &GroundTruth) -> usize {
+        let names = self.analysis.trace().names();
+        self.analysis
+            .representatives()
+            .iter()
+            .filter(|cr| !truth.contains_key(&names.field_name(cr.race.loc.field)))
+            .count()
+    }
+
+    /// Reported representatives whose measured category disagrees with the
+    /// planted one (diagnostic).
+    pub fn misclassified(&self, truth: &GroundTruth) -> Vec<(String, RaceCategory, RaceCategory)> {
+        let names = self.analysis.trace().names();
+        self.analysis
+            .representatives()
+            .iter()
+            .filter_map(|cr| {
+                let field = names.field_name(cr.race.loc.field);
+                let planted = truth.get(&field)?;
+                (planted.category != cr.category)
+                    .then(|| (field, planted.category, cr.category))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the race detection pipeline.
+//!
+//! Groups:
+//! * `graph_build` — HB-graph construction with and without node merging;
+//! * `hb_closure` — the happens-before fixpoint per corpus application;
+//! * `detection` — the end-to-end offline analysis (graph + closure + race
+//!   detection + classification);
+//! * `mt_baselines` — the graph-based multithreaded-only mode vs the
+//!   vector-clock detector;
+//! * `simulation` — trace generation throughput for a mid-size app.
+//!
+//! Run with `cargo bench -p droidracer-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use droidracer_apps::{aard_dictionary, messenger, music_player, my_tracks};
+use droidracer_core::{vc, Analysis, HappensBefore, HbConfig, HbGraph, HbMode};
+use droidracer_trace::Trace;
+
+fn corpus_traces() -> Vec<(&'static str, Trace)> {
+    [aard_dictionary(), music_player(), my_tracks(), messenger()]
+        .into_iter()
+        .map(|e| (e.name, e.generate_trace().expect("corpus entry runs")))
+        .collect()
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let traces = corpus_traces();
+    let mut group = c.benchmark_group("graph_build");
+    for (name, trace) in &traces {
+        let index = trace.index();
+        group.bench_with_input(BenchmarkId::new("merged", name), trace, |b, t| {
+            b.iter(|| black_box(HbGraph::build(t, &index, true).node_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("unmerged", name), trace, |b, t| {
+            b.iter(|| black_box(HbGraph::build(t, &index, false).node_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hb_closure(c: &mut Criterion) {
+    let traces = corpus_traces();
+    let mut group = c.benchmark_group("hb_closure");
+    group.sample_size(20);
+    for (name, trace) in &traces {
+        group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
+            b.iter(|| black_box(HappensBefore::compute(t, HbConfig::new()).ordered_pairs()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let traces = corpus_traces();
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(20);
+    for (name, trace) in &traces {
+        group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
+            b.iter(|| black_box(Analysis::run(t).races().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mt_baselines(c: &mut Criterion) {
+    let trace = messenger().generate_trace().expect("messenger runs");
+    let mut group = c.benchmark_group("mt_baselines");
+    group.sample_size(20);
+    group.bench_function("graph_mt_only", |b| {
+        b.iter(|| black_box(Analysis::run_mode(&trace, HbMode::MultithreadedOnly).races().len()))
+    });
+    group.bench_function("vector_clock", |b| {
+        b.iter(|| black_box(vc::detect_multithreaded(&trace).len()))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let entry = music_player();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    group.bench_function("music_player_trace", |b| {
+        b.iter(|| black_box(entry.generate_trace().expect("runs").len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_hb_closure,
+    bench_detection,
+    bench_mt_baselines,
+    bench_simulation
+);
+criterion_main!(benches);

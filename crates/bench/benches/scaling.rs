@@ -1,0 +1,58 @@
+//! Scaling benchmark: how the happens-before closure grows with the number
+//! of asynchronous tasks (the dominant factor: the FIFO/NOPRE candidate set
+//! is quadratic in tasks-per-looper, and the paper's transitive closure is
+//! cubic in graph nodes).
+//!
+//! Run with `cargo bench -p droidracer-bench --bench scaling`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use droidracer_core::{HappensBefore, HbConfig};
+use droidracer_framework::{compile, AppBuilder, Stmt};
+use droidracer_sim::{run, RandomScheduler, SimConfig};
+use droidracer_trace::Trace;
+
+/// Builds a trace with `tasks` posted runnables plus a background thread
+/// racing on one shared field.
+fn synthetic_trace(tasks: usize) -> Trace {
+    let mut b = AppBuilder::new("Scaling");
+    let act = b.activity("Main");
+    let shared = b.var("o", "C.shared");
+    let private = b.var("o", "C.private");
+    let w = b.worker("bg", vec![Stmt::Write(shared)]);
+    let r = b.handler("tick", vec![Stmt::Read(private), Stmt::Write(private)]);
+    let mut body = vec![Stmt::ForkWorker(w), Stmt::Read(shared)];
+    for _ in 0..tasks {
+        body.push(Stmt::Post {
+            handler: r,
+            delay: None,
+            front: false,
+        });
+    }
+    b.on_create(act, body);
+    let compiled = compile(&b.finish(), &[]).expect("compiles");
+    let result = run(
+        &compiled.program,
+        &mut RandomScheduler::new(1),
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    assert!(result.completed);
+    result.trace
+}
+
+fn bench_task_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_vs_task_count");
+    group.sample_size(10);
+    for tasks in [50usize, 100, 200, 400] {
+        let trace = synthetic_trace(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &trace, |b, t| {
+            b.iter(|| black_box(HappensBefore::compute(t, HbConfig::new()).ordered_pairs()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_scaling);
+criterion_main!(benches);

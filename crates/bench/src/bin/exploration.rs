@@ -1,0 +1,93 @@
+//! Schedule-space exploration statistics: naive exhaustive DFS vs the
+//! sleep-set partial-order reduction, on small canonical programs.
+//!
+//! Run with `cargo run --release -p droidracer-bench --bin exploration`.
+
+use droidracer_bench::TextTable;
+use droidracer_sim::{
+    explore_schedules, explore_schedules_reduced, Action, ExploreConfig, Program, ProgramBuilder,
+    ThreadSpec,
+};
+use droidracer_trace::{PostKind, ThreadKind};
+
+/// `n` threads each writing its own location (fully independent).
+fn independent(n: usize) -> Program {
+    let mut p = ProgramBuilder::new();
+    for i in 0..n {
+        let t = p.thread(ThreadSpec::app(format!("t{i}")).initial());
+        let loc = p.loc("o", format!("C.f{i}"));
+        p.set_thread_body(t, vec![Action::Write(loc)]);
+    }
+    p.finish().expect("valid")
+}
+
+/// `n` threads all writing one location (fully dependent).
+fn contended(n: usize) -> Program {
+    let mut p = ProgramBuilder::new();
+    let shared = p.loc("o", "C.shared");
+    for i in 0..n {
+        let t = p.thread(ThreadSpec::app(format!("t{i}")).initial());
+        p.set_thread_body(t, vec![Action::Write(shared)]);
+    }
+    p.finish().expect("valid")
+}
+
+/// Two posters racing tasks onto one looper.
+fn looper_race() -> Program {
+    let mut p = ProgramBuilder::new();
+    let main = p.thread(
+        ThreadSpec::app("main")
+            .kind(ThreadKind::Main)
+            .initial()
+            .with_queue(),
+    );
+    let loc = p.loc("o", "C.f");
+    for i in 0..2 {
+        let poster = p.thread(ThreadSpec::app(format!("poster{i}")).initial());
+        let task = p.task(format!("T{i}"), vec![Action::Write(loc)]);
+        p.set_thread_body(
+            poster,
+            vec![Action::Post {
+                task,
+                target: main,
+                kind: PostKind::Plain,
+            }],
+        );
+    }
+    p.finish().expect("valid")
+}
+
+fn main() {
+    let config = ExploreConfig {
+        max_steps: 20_000,
+        max_schedules: 100_000,
+    };
+    let mut table = TextTable::new(["Program", "Naive schedules", "Sleep-set schedules", "Pruned"]);
+    println!("Stateless model checking: exhaustive DFS vs sleep-set reduction\n");
+    let programs: Vec<(String, Program)> = vec![
+        ("2 independent writers".into(), independent(2)),
+        ("3 independent writers".into(), independent(3)),
+        ("4 independent writers".into(), independent(4)),
+        ("2 contended writers".into(), contended(2)),
+        ("3 contended writers".into(), contended(3)),
+        ("looper with 2 racing posters".into(), looper_race()),
+    ];
+    for (name, program) in &programs {
+        let naive = explore_schedules(program, &config).expect("explores");
+        let reduced = explore_schedules_reduced(program, &config).expect("explores");
+        assert!(naive.complete && reduced.complete);
+        let pruned = 100.0 * (1.0 - reduced.runs.len() as f64 / naive.runs.len() as f64);
+        table.row([
+            name.clone(),
+            naive.runs.len().to_string(),
+            reduced.runs.len().to_string(),
+            format!("{pruned:.0}%"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Independent transitions commute: the reduction collapses their\n\
+         interleavings while preserving every ordering of conflicting accesses\n\
+         (cross-checked against the race-detection oracle in tests/oracle.rs)."
+    );
+}

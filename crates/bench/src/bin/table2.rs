@@ -1,0 +1,52 @@
+//! Experiment E1 — regenerates **Table 2**: statistics about applications
+//! and traces (trace length, distinct fields, threads without/with task
+//! queues, asynchronous tasks), measured on the synthetic corpus next to the
+//! paper's numbers.
+//!
+//! Run with `cargo run --release -p droidracer-bench --bin table2`.
+
+use droidracer_apps::corpus;
+use droidracer_bench::{vs, TextTable};
+use droidracer_trace::TraceStats;
+
+fn main() {
+    let mut table = TextTable::new([
+        "Application (LOC)",
+        "Trace length",
+        "Fields",
+        "Threads (w/o Qs)",
+        "Threads (w/ Qs)",
+        "Async. tasks",
+    ]);
+    println!("Table 2: statistics about applications and traces");
+    println!("(measured on the synthetic corpus; paper-reported numbers in parentheses)\n");
+    let mut was_open_source = true;
+    for entry in corpus() {
+        if was_open_source && !entry.open_source {
+            table.rule();
+            was_open_source = false;
+        }
+        let trace = match entry.generate_trace() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", entry.name);
+                continue;
+            }
+        };
+        let stats = TraceStats::of(&trace);
+        let p = &entry.paper;
+        let name = match p.loc {
+            Some(loc) => format!("{} ({loc})", entry.name),
+            None => entry.name.to_owned(),
+        };
+        table.row([
+            name,
+            vs(stats.trace_length, p.trace_length),
+            vs(stats.fields, p.fields),
+            vs(stats.threads_without_queues, p.threads_without_queues),
+            vs(stats.threads_with_queues, p.threads_with_queues),
+            vs(stats.async_tasks, p.async_tasks),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,76 @@
+//! Experiment E2 — regenerates **Table 3**: data races reported by the
+//! detector per category, as `X(Y)` where `X` is the number of reports and
+//! `Y` the true positives among them (ground-truthed for our corpus; the
+//! paper verified manually with DDMS). Paper numbers in parentheses.
+//!
+//! Run with `cargo run --release -p droidracer-bench --bin table3`.
+
+use droidracer_apps::{corpus, RaceCategory};
+use droidracer_bench::{xy, TextTable};
+use droidracer_core::CategoryCounts;
+
+fn main() {
+    let mut table = TextTable::new([
+        "Application",
+        "Multithreaded",
+        "Cross-posted",
+        "Co-enabled",
+        "Delayed",
+        "Unknown",
+        "diag",
+    ]);
+    println!("Table 3: data races reported, as measured(X(Y)) vs paper[X(Y)]");
+    println!("(Y = true positives; unknown for proprietary apps in the paper)\n");
+    let mut was_open_source = true;
+    let mut total_open = CategoryCounts::default();
+    let mut total_open_true = CategoryCounts::default();
+    let mut total_prop = CategoryCounts::default();
+    for entry in corpus() {
+        if was_open_source && !entry.open_source {
+            table.rule();
+            was_open_source = false;
+        }
+        let report = match entry.analyze() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", entry.name);
+                continue;
+            }
+        };
+        if entry.open_source {
+            total_open = total_open.merged(&report.reported);
+            total_open_true = total_open_true.merged(&report.verified);
+        } else {
+            total_prop = total_prop.merged(&report.reported);
+        }
+        let cell = |cat: RaceCategory| {
+            let measured = xy(report.reported.get(cat), report.verified.get(cat));
+            let paper = match entry.paper.verified {
+                Some(v) => xy(entry.paper.reported.get(cat), v.get(cat)),
+                None => format!("{}", entry.paper.reported.get(cat)),
+            };
+            format!("{measured} [{paper}]")
+        };
+        let unplanned = report.unplanned(&entry.truth);
+        let misclassified = report.misclassified(&entry.truth).len();
+        table.row([
+            entry.name.to_owned(),
+            cell(RaceCategory::Multithreaded),
+            cell(RaceCategory::CrossPosted),
+            cell(RaceCategory::CoEnabled),
+            cell(RaceCategory::Delayed),
+            cell(RaceCategory::Unknown),
+            format!("+{unplanned}/~{misclassified}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Open-source totals:   measured {} true {} | paper reported mt=27 cross=147 co=32 delayed=6, 80/215 true overall",
+        total_open, total_open_true
+    );
+    println!(
+        "Proprietary totals:   measured {} | paper reported mt=58 cross=276 co=124 delayed=43",
+        total_prop
+    );
+    println!("\ndiag column: +unplanned reports / ~category mismatches vs planted ground truth");
+}

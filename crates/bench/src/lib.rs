@@ -1,0 +1,109 @@
+//! Shared rendering helpers for the benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation, printing paper-reported numbers next to measured
+//! ones. See DESIGN.md's experiment index (E1–E7) for the mapping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Display>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a horizontal rule (rendered as dashes).
+    pub fn rule(&mut self) {
+        self.rows.push(Vec::new());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                render_row(row, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Formats `measured` next to the paper's number as `measured (paper)`.
+pub fn vs(measured: impl Display, paper: impl Display) -> String {
+    format!("{measured} ({paper})")
+}
+
+/// Formats the Table 3 `X(Y)` cell.
+pub fn xy(x: usize, y: usize) -> String {
+    format!("{x}({y})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["App", "Len"]);
+        t.row(["Aard", "1355"]);
+        t.rule();
+        t.row(["Flipkart", "157539"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].chars().all(|c| c == '-'));
+        assert!(lines[2].ends_with("1355"));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(vs(10, 12), "10 (12)");
+        assert_eq!(xy(17, 4), "17(4)");
+    }
+}

@@ -1,0 +1,304 @@
+//! A dense square bit matrix used for happens-before reachability.
+
+use std::fmt;
+
+/// A square boolean matrix backed by `u64` words, storing one row per graph
+/// node. Row `i` holds the set of nodes `j` with an edge (or derived
+/// ordering) `i → j`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an `n × n` matrix of zeros.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Side length of the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = i * self.words_per_row;
+        start..start + self.words_per_row
+    }
+
+    /// Sets bit `(i, j)`. Returns `true` if the bit was newly set.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        let word = &mut self.bits[i * self.words_per_row + j / 64];
+        let mask = 1u64 << (j % 64);
+        let was = *word & mask != 0;
+        *word |= mask;
+        !was
+    }
+
+    /// Tests bit `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// Returns row `i` as a word slice.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.bits[self.row_range(i)]
+    }
+
+    /// ORs row `src` into row `dst`. Returns `true` if `dst` changed.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
+        debug_assert!(src != dst || src < self.n);
+        if src == dst {
+            return false;
+        }
+        let (s, d) = (self.row_range(src), self.row_range(dst));
+        let mut changed = false;
+        // Split borrows: rows never overlap because src != dst.
+        let (lo, hi, src_first) = if s.start < d.start {
+            (s, d, true)
+        } else {
+            (d, s, false)
+        };
+        let (head, tail) = self.bits.split_at_mut(hi.start);
+        let lo_slice = &mut head[lo];
+        let hi_slice = &mut tail[..hi.end - hi.start];
+        let (src_slice, dst_slice): (&[u64], &mut [u64]) = if src_first {
+            (lo_slice, hi_slice)
+        } else {
+            (hi_slice, lo_slice)
+        };
+        for (dw, sw) in dst_slice.iter_mut().zip(src_slice.iter()) {
+            let new = *dw | *sw;
+            changed |= new != *dw;
+            *dw = new;
+        }
+        changed
+    }
+
+    /// ORs an external word slice into row `dst`. Returns `true` on change.
+    pub fn or_words_into(&mut self, words: &[u64], dst: usize) -> bool {
+        let range = self.row_range(dst);
+        let mut changed = false;
+        for (dw, sw) in self.bits[range].iter_mut().zip(words.iter()) {
+            let new = *dw | *sw;
+            changed |= new != *dw;
+            *dw = new;
+        }
+        changed
+    }
+
+    /// ANDs the complement of `mask` into row `dst` (clears masked bits).
+    pub fn clear_masked(&mut self, mask: &[u64], dst: usize) {
+        let range = self.row_range(dst);
+        for (dw, mw) in self.bits[range].iter_mut().zip(mask.iter()) {
+            *dw &= !*mw;
+        }
+    }
+
+    /// Iterates over the set bit positions of row `i`.
+    pub fn iter_row(&self, i: usize) -> BitIter<'_> {
+        BitIter::new(self.row(i))
+    }
+
+    /// Number of set bits in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in row `i`.
+    pub fn row_count_ones(&self, i: usize) -> usize {
+        self.row(i).iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}x{}, {} bits set)", self.n, self.n, self.count_ones())?;
+        if self.n <= 32 {
+            for i in 0..self.n {
+                let row: String = (0..self.n).map(|j| if self.get(i, j) { '1' } else { '.' }).collect();
+                writeln!(f, "  {i:>3} {row}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over set bit positions of a word slice.
+#[derive(Debug, Clone)]
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> BitIter<'a> {
+    /// Creates an iterator over the set bits of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        BitIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// A standalone bit set sized for `n` node ids, used for thread masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates a set over ids `0..n`, initially empty.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests membership of `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| w & (1u64 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over members.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter::new(&self.words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut m = BitMatrix::new(130);
+        assert!(!m.get(3, 127));
+        assert!(m.set(3, 127));
+        assert!(!m.set(3, 127)); // already set
+        assert!(m.get(3, 127));
+        assert!(!m.get(127, 3));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn or_row_into_merges_rows() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 5);
+        m.set(0, 65);
+        m.set(1, 7);
+        assert!(m.or_row_into(0, 1));
+        assert!(m.get(1, 5) && m.get(1, 65) && m.get(1, 7));
+        assert!(!m.or_row_into(0, 1)); // second time: no change
+        assert!(!m.or_row_into(0, 0)); // self-merge is a no-op
+    }
+
+    #[test]
+    fn or_row_into_works_in_both_directions() {
+        let mut m = BitMatrix::new(10);
+        m.set(5, 1);
+        assert!(m.or_row_into(5, 2)); // src after dst
+        assert!(m.get(2, 1));
+        m.set(0, 3);
+        assert!(m.or_row_into(0, 7)); // src before dst
+        assert!(m.get(7, 3));
+    }
+
+    #[test]
+    fn iter_row_yields_sorted_positions() {
+        let mut m = BitMatrix::new(200);
+        for j in [0, 63, 64, 128, 199] {
+            m.set(2, j);
+        }
+        let got: Vec<usize> = m.iter_row(2).collect();
+        assert_eq!(got, vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn clear_masked_removes_bits() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 3);
+        m.set(0, 68);
+        let mut mask = BitSet::new(70);
+        mask.insert(3);
+        m.clear_masked(mask.words(), 0);
+        assert!(!m.get(0, 3));
+        assert!(m.get(0, 68));
+    }
+
+    #[test]
+    fn or_words_into_reports_change() {
+        let mut m = BitMatrix::new(70);
+        let mut set = BitSet::new(70);
+        set.insert(69);
+        assert!(m.or_words_into(set.words(), 4));
+        assert!(!m.or_words_into(set.words(), 4));
+        assert!(m.get(4, 69));
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(100);
+        assert!(!s.contains(99));
+        s.insert(99);
+        s.insert(0);
+        assert!(s.contains(99) && s.contains(0) && !s.contains(50));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 99]);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = BitMatrix::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.count_ones(), 0);
+    }
+}

@@ -1,0 +1,1110 @@
+//! The happens-before fixpoint engine.
+//!
+//! Computes the paper's relation `≺ = ≺st ∪ ≺mt` (Figures 6 and 7) over the
+//! nodes of an [`HbGraph`]. The two sub-relations are kept in separate bit
+//! matrices because the paper deliberately restricts transitivity:
+//!
+//! * TRANS-ST closes `≺st` over same-thread chains only;
+//! * TRANS-MT derives `αi ≺mt αj` from `αi ≺ αk ≺ αj` only when `αi` and
+//!   `αj` run on *different* threads.
+//!
+//! Consequently two tasks on one thread are never ordered transitively
+//! through another thread (e.g. via a lock hand-off) — the naive closure of
+//! the union graph would derive exactly those spurious orderings, and the
+//! unrestricted mode ([`RuleSet::restricted_transitivity`]` = false`)
+//! reproduces that flawed behaviour for the ablation study.
+//!
+//! The generator rules FIFO and NOPRE consult the combined relation while
+//! producing new `≺st` edges, so the whole computation is a worklist
+//! fixpoint: saturate transitivity, fire generator rules, repeat until no
+//! rule adds an edge.
+
+use std::collections::HashMap;
+
+use droidracer_trace::{LockId, Op, OpKind, PostKind, TaskId, ThreadId, Trace, TraceIndex};
+
+use crate::bitmatrix::{BitIter, BitMatrix};
+use crate::graph::{HbGraph, NodeId};
+use crate::rules::{HbConfig, RuleSet};
+
+/// The computed happens-before relation for one trace.
+#[derive(Debug, Clone)]
+pub struct HappensBefore {
+    graph: HbGraph,
+    relation: Relation,
+    rounds: usize,
+    config: HbConfig,
+}
+
+#[derive(Debug, Clone)]
+enum Relation {
+    /// The paper's relation: `st` holds same-thread pairs, `mt` cross-thread
+    /// pairs.
+    Restricted { st: BitMatrix, mt: BitMatrix },
+    /// Naive transitive closure of the union of all base edges.
+    Plain(BitMatrix),
+}
+
+impl HappensBefore {
+    /// Computes the happens-before relation of `trace` under `config`.
+    ///
+    /// Cancelled posts should be stripped first (see
+    /// [`Trace::without_cancelled`]); the top-level detector does this
+    /// automatically.
+    pub fn compute(trace: &Trace, config: HbConfig) -> Self {
+        let index = trace.index();
+        Self::compute_with_index(trace, &index, config)
+    }
+
+    /// Like [`HappensBefore::compute`] but reuses a prebuilt [`TraceIndex`].
+    pub fn compute_with_index(trace: &Trace, index: &TraceIndex, config: HbConfig) -> Self {
+        Self::compute_with_assumed_edges(trace, index, config, &[])
+    }
+
+    /// Computes the relation with additional *assumed* orderings injected as
+    /// base edges (`(i, j)` meaning `αi ≺ αj`, trace indices with `i < j`).
+    ///
+    /// Used by race-coverage analysis (à la Raychev et al., which §6 points
+    /// to for ad-hoc synchronization): assuming one race resolves in trace
+    /// order may order — *cover* — other races.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumed edge points backwards (`i ≥ j`) or out of range.
+    pub fn compute_with_assumed_edges(
+        trace: &Trace,
+        index: &TraceIndex,
+        config: HbConfig,
+        assumed: &[(usize, usize)],
+    ) -> Self {
+        // Anchor the assumed edges precisely: their endpoints must not be
+        // swallowed by access blocks, or the injected edge would order whole
+        // blocks the assumption says nothing about.
+        let breaks: Vec<usize> = assumed.iter().flat_map(|&(i, j)| [i, j]).collect();
+        let graph = HbGraph::build_with_breaks(trace, index, config.merge_accesses, &breaks);
+        let mut builder = EngineState::new(trace, index, &graph, config.rules);
+        builder.add_base_edges();
+        for &(i, j) in assumed {
+            assert!(i < j, "assumed edges must point forward");
+            let (a, b) = (graph.node_of(i), graph.node_of(j));
+            builder.add_edge(a, b);
+        }
+        let rounds = builder.run_fixpoint();
+        HappensBefore {
+            relation: builder.relation,
+            graph,
+            rounds,
+            config,
+        }
+    }
+
+    /// The underlying graph (nodes, merging information).
+    pub fn graph(&self) -> &HbGraph {
+        &self.graph
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &HbConfig {
+        &self.config
+    }
+
+    /// Number of fixpoint rounds until convergence.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether node `a` happens before node `b`.
+    pub fn ordered_nodes(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        match &self.relation {
+            Relation::Restricted { st, mt } => st.get(a, b) || mt.get(a, b),
+            Relation::Plain(r) => r.get(a, b),
+        }
+    }
+
+    /// Whether the operation at trace index `i` happens before the one at
+    /// `j` (`αi ≺ αj`). Reflexive, as in the paper.
+    pub fn ordered(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return true;
+        }
+        let (a, b) = (self.graph.node_of(i), self.graph.node_of(j));
+        if a == b {
+            // Same access block: same thread, same task, no intervening
+            // synchronization — program order applies.
+            return i < j;
+        }
+        self.ordered_nodes(a, b)
+    }
+
+    /// Whether the two operations are unordered in both directions
+    /// (the race condition on ordering).
+    pub fn concurrent(&self, i: usize, j: usize) -> bool {
+        !self.ordered(i, j) && !self.ordered(j, i)
+    }
+
+    /// Total number of ordered node pairs in the closed relation.
+    pub fn ordered_pairs(&self) -> usize {
+        match &self.relation {
+            Relation::Restricted { st, mt } => st.count_ones() + mt.count_ones(),
+            Relation::Plain(r) => r.count_ones(),
+        }
+    }
+}
+
+/// A FIFO/NOPRE candidate: a pair of tasks executed on the same thread,
+/// `first` ending before `second` begins, not yet derived to be ordered.
+#[derive(Debug, Clone, Copy)]
+struct TaskPairCandidate {
+    end_node: NodeId,
+    begin_node: NodeId,
+    /// Post node + kind of the first task, if posted.
+    post1: Option<(NodeId, PostKind)>,
+    /// Post node + kind of the second task, if posted.
+    post2: Option<(NodeId, PostKind)>,
+    first_task: TaskId,
+}
+
+struct EngineState<'a> {
+    trace: &'a Trace,
+    index: &'a TraceIndex,
+    graph: &'a HbGraph,
+    rules: RuleSet,
+    relation: Relation,
+    candidates: Vec<TaskPairCandidate>,
+    /// Nodes of each task, used by NOPRE.
+    task_nodes: HashMap<TaskId, Vec<NodeId>>,
+}
+
+impl<'a> EngineState<'a> {
+    fn new(trace: &'a Trace, index: &'a TraceIndex, graph: &'a HbGraph, rules: RuleSet) -> Self {
+        let n = graph.node_count();
+        let relation = if rules.restricted_transitivity {
+            Relation::Restricted {
+                st: BitMatrix::new(n),
+                mt: BitMatrix::new(n),
+            }
+        } else {
+            Relation::Plain(BitMatrix::new(n))
+        };
+        let mut task_nodes: HashMap<TaskId, Vec<NodeId>> = HashMap::new();
+        for (id, node) in graph.nodes().iter().enumerate() {
+            if let Some(task) = node.task {
+                task_nodes.entry(task).or_default().push(id);
+            }
+        }
+        EngineState {
+            trace,
+            index,
+            graph,
+            rules,
+            relation,
+            candidates: Vec::new(),
+            task_nodes,
+        }
+    }
+
+    fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        debug_assert!(a < b, "happens-before edges point forward in the trace");
+        match &mut self.relation {
+            Relation::Restricted { st, mt } => {
+                if self.graph.node(a).thread == self.graph.node(b).thread {
+                    st.set(a, b)
+                } else {
+                    mt.set(a, b)
+                }
+            }
+            Relation::Plain(r) => r.set(a, b),
+        }
+    }
+
+    fn ordered(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        match &self.relation {
+            Relation::Restricted { st, mt } => st.get(a, b) || mt.get(a, b),
+            Relation::Plain(r) => r.get(a, b),
+        }
+    }
+
+    fn add_base_edges(&mut self) {
+        self.add_program_order_edges();
+        self.add_task_edges();
+        self.add_thread_edges();
+        self.add_lock_edges();
+        self.collect_task_pair_candidates();
+    }
+
+    /// NO-Q-PO, ASYNC-PO and the whole-thread variant.
+    fn add_program_order_edges(&mut self) {
+        let threads: Vec<ThreadId> = self
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| n.thread)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for t in threads {
+            let node_ids: Vec<NodeId> = self.graph.nodes_of_thread(t).to_vec();
+            let loop_node = self.index.loop_on_q(t).map(|i| self.graph.node_of(i));
+            let whole = self.rules.whole_thread_program_order || loop_node.is_none();
+            if whole {
+                if self.rules.no_q_po {
+                    for w in node_ids.windows(2) {
+                        self.add_edge(w[0], w[1]);
+                    }
+                }
+                continue;
+            }
+            let lp = loop_node.expect("loop_node checked above");
+            if self.rules.no_q_po {
+                // Chain the prefix up to loopOnQ, then order loopOnQ before
+                // every later node on the thread (NO-Q-PO lets any pre-loop
+                // op reach any later same-thread op).
+                let mut prev: Option<NodeId> = None;
+                for &id in &node_ids {
+                    if id <= lp {
+                        if let Some(p) = prev {
+                            self.add_edge(p, id);
+                        }
+                        prev = Some(id);
+                    } else {
+                        self.add_edge(lp, id);
+                    }
+                }
+            }
+            if self.rules.async_po {
+                for w in node_ids.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    let (ta, tb) = (self.graph.node(a).task, self.graph.node(b).task);
+                    if ta.is_some() && ta == tb {
+                        self.add_edge(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// ENABLE-ST/MT, POST-ST/MT, ATTACH-Q-MT.
+    fn add_task_edges(&mut self) {
+        let tasks: Vec<(Option<usize>, Option<usize>, Option<usize>, Option<ThreadId>)> = self
+            .index
+            .tasks()
+            .map(|(_, info)| (info.enable, info.post, info.begin, info.target))
+            .collect();
+        for (enable, post, begin, target) in tasks {
+            if self.rules.post {
+                if let (Some(p), Some(b)) = (post, begin) {
+                    self.add_edge(self.graph.node_of(p), self.graph.node_of(b));
+                }
+            }
+            if self.rules.enable {
+                if let (Some(e), Some(p)) = (enable, post) {
+                    self.add_edge(self.graph.node_of(e), self.graph.node_of(p));
+                }
+            }
+            if self.rules.attach_q {
+                if let (Some(p), Some(target)) = (post, target) {
+                    let post_thread = self.trace.op(p).thread;
+                    if post_thread != target {
+                        if let Some(a) = self.index.attach_q(target) {
+                            self.add_edge(self.graph.node_of(a), self.graph.node_of(p));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// FORK and JOIN.
+    fn add_thread_edges(&mut self) {
+        let mut init_of: HashMap<ThreadId, usize> = HashMap::new();
+        let mut exit_of: HashMap<ThreadId, usize> = HashMap::new();
+        for (i, op) in self.trace.iter() {
+            match op.kind {
+                OpKind::ThreadInit => {
+                    init_of.entry(op.thread).or_insert(i);
+                }
+                OpKind::ThreadExit => {
+                    exit_of.entry(op.thread).or_insert(i);
+                }
+                _ => {}
+            }
+        }
+        for (i, op) in self.trace.iter() {
+            match op.kind {
+                OpKind::Fork { child } if self.rules.fork => {
+                    if let Some(&j) = init_of.get(&child) {
+                        if i < j {
+                            self.add_edge(self.graph.node_of(i), self.graph.node_of(j));
+                        }
+                    }
+                }
+                OpKind::Join { child } if self.rules.join => {
+                    if let Some(&j) = exit_of.get(&child) {
+                        if j < i {
+                            self.add_edge(self.graph.node_of(j), self.graph.node_of(i));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// LOCK (release before a later acquire on a different thread), plus the
+    /// deliberately unsound same-thread variant for the naive baseline.
+    fn add_lock_edges(&mut self) {
+        if !self.rules.lock && !self.rules.same_thread_lock {
+            return;
+        }
+        let mut per_lock: HashMap<LockId, Vec<(usize, bool, Op)>> = HashMap::new();
+        for (i, op) in self.trace.iter() {
+            match op.kind {
+                OpKind::Acquire { lock } => per_lock.entry(lock).or_default().push((i, true, op)),
+                OpKind::Release { lock } => per_lock.entry(lock).or_default().push((i, false, op)),
+                _ => {}
+            }
+        }
+        for ops in per_lock.values() {
+            for (ri, racq, rop) in ops {
+                if *racq {
+                    continue;
+                }
+                for (ai, aacq, aop) in ops {
+                    if !*aacq || ai < ri {
+                        continue;
+                    }
+                    let cross = rop.thread != aop.thread;
+                    if cross && self.rules.lock {
+                        self.add_edge(self.graph.node_of(*ri), self.graph.node_of(*ai));
+                    } else if !cross && self.rules.same_thread_lock {
+                        // The naive combination orders same-thread tasks that
+                        // share a lock — exactly the spurious edge the paper's
+                        // LOCK rule avoids by requiring distinct threads.
+                        let (t1, t2) = (self.index.task_of(*ri), self.index.task_of(*ai));
+                        if t1 != t2 {
+                            self.add_edge(self.graph.node_of(*ri), self.graph.node_of(*ai));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerates same-thread task pairs eligible for FIFO/NOPRE.
+    fn collect_task_pair_candidates(&mut self) {
+        if !self.rules.fifo && !self.rules.nopre {
+            return;
+        }
+        // Tasks per executing thread, ordered by begin index.
+        let mut per_thread: HashMap<ThreadId, Vec<(usize, TaskId)>> = HashMap::new();
+        for (task, info) in self.index.tasks() {
+            if let (Some(b), Some(target)) = (info.begin, info.target) {
+                per_thread.entry(target).or_default().push((b, task));
+            }
+        }
+        for tasks in per_thread.values_mut() {
+            tasks.sort_unstable();
+            for i in 0..tasks.len() {
+                let first = tasks[i].1;
+                let first_info = self.index.task(first);
+                let Some(end) = first_info.end else { continue };
+                let post1 = first_info
+                    .post
+                    .map(|p| (self.graph.node_of(p), first_info.post_kind));
+                for &(b2, second) in &tasks[i + 1..] {
+                    let second_info = self.index.task(second);
+                    debug_assert!(end < b2, "tasks on one thread run sequentially");
+                    let post2 = second_info
+                        .post
+                        .map(|p| (self.graph.node_of(p), second_info.post_kind));
+                    self.candidates.push(TaskPairCandidate {
+                        end_node: self.graph.node_of(end),
+                        begin_node: self.graph.node_of(b2),
+                        post1,
+                        post2,
+                        first_task: first,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs generator + transitivity to fixpoint; returns the round count.
+    fn run_fixpoint(&mut self) -> usize {
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = self.saturate();
+            changed |= self.fire_generators();
+            if !changed {
+                return rounds;
+            }
+        }
+    }
+
+    /// Applies FIFO and NOPRE to all still-pending candidates. Returns true
+    /// if any new edge was added.
+    fn fire_generators(&mut self) -> bool {
+        if self.candidates.is_empty() {
+            return false;
+        }
+        let mut changed = false;
+        let mut remaining = Vec::with_capacity(self.candidates.len());
+        let candidates = std::mem::take(&mut self.candidates);
+        for cand in candidates {
+            if self.ordered(cand.end_node, cand.begin_node) {
+                continue; // already derived
+            }
+            let mut fire = false;
+            if self.rules.fifo {
+                if let (Some((p1, k1)), Some((p2, k2))) = (cand.post1, cand.post2) {
+                    if fifo_delay_ok(k1, k2, self.rules.delayed_fifo) && self.ordered(p1, p2) {
+                        fire = true;
+                    }
+                }
+            }
+            if !fire && self.rules.nopre {
+                if let Some((p2, _)) = cand.post2 {
+                    if let Some(nodes) = self.task_nodes.get(&cand.first_task) {
+                        fire = nodes.iter().any(|&k| self.ordered(k, p2));
+                    }
+                }
+            }
+            if fire {
+                changed |= self.add_edge(cand.end_node, cand.begin_node);
+            } else {
+                remaining.push(cand);
+            }
+        }
+        self.candidates = remaining;
+        changed
+    }
+
+    /// One full transitivity saturation. Returns true if anything changed.
+    fn saturate(&mut self) -> bool {
+        let n = self.graph.node_count();
+        if n == 0 {
+            return false;
+        }
+        let threads: Vec<ThreadId> = self.graph.nodes().iter().map(|node| node.thread).collect();
+        match &mut self.relation {
+            Relation::Plain(r) => {
+                let mut changed = false;
+                loop {
+                    let mut pass_changed = false;
+                    for i in (0..n).rev() {
+                        let succs: Vec<usize> = r.iter_row(i).collect();
+                        for j in succs {
+                            pass_changed |= r.or_row_into(j, i);
+                        }
+                    }
+                    changed |= pass_changed;
+                    if !pass_changed {
+                        return changed;
+                    }
+                }
+            }
+            Relation::Restricted { st, mt } => {
+                let words = n.div_ceil(64);
+                let mut full = vec![0u64; words];
+                let mut cand = vec![0u64; words];
+                let mut changed = false;
+                for i in (0..n).rev() {
+                    // TRANS-ST: rows of st-successors are already complete
+                    // (edges point forward, iteration is reverse).
+                    let succs: Vec<usize> = st.iter_row(i).collect();
+                    for j in succs {
+                        changed |= st.or_row_into(j, i);
+                    }
+                    // TRANS-MT: compose the combined relation; only bits on
+                    // threads other than thread(i) may be recorded. Repeat
+                    // until row i stabilizes, because newly derived cross-
+                    // thread bits can enable further compositions.
+                    let mask = self
+                        .graph
+                        .thread_mask(threads[i])
+                        .expect("every node's thread has a mask");
+                    loop {
+                        for w in 0..words {
+                            full[w] = st.row(i)[w] | mt.row(i)[w];
+                        }
+                        cand.copy_from_slice(&full);
+                        for j in BitIter::new(&full) {
+                            let (sj, mj) = (st.row(j), mt.row(j));
+                            for w in 0..words {
+                                cand[w] |= sj[w] | mj[w];
+                            }
+                        }
+                        for (c, m) in cand.iter_mut().zip(mask.words()) {
+                            *c &= !*m;
+                        }
+                        if mt.or_words_into(&cand, i) {
+                            changed = true;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// The §4.2 refinement of the FIFO rule for delayed posts, extended to
+/// front-of-queue posts:
+///
+/// * neither delayed → ordinary FIFO applies;
+/// * second delayed, first not → the delayed task runs no earlier;
+/// * first delayed, second not → no ordering (the delayed task may be
+///   overtaken);
+/// * both delayed → ordered iff the first timeout is no larger;
+/// * second posted to the front (extension) → no FIFO ordering, the front
+///   post may overtake anything queued.
+fn fifo_delay_ok(k1: PostKind, k2: PostKind, refined: bool) -> bool {
+    if !refined {
+        return true;
+    }
+    if matches!(k2, PostKind::Front) {
+        return false;
+    }
+    match (k1.delay(), k2.delay()) {
+        (None, None) | (None, Some(_)) => true,
+        (Some(_), None) => false,
+        (Some(d1), Some(d2)) => d1 <= d2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_trace::{validate, ThreadKind, TraceBuilder};
+
+    fn hb(trace: &Trace) -> HappensBefore {
+        assert_eq!(validate(trace), Ok(()), "test traces must be feasible");
+        HappensBefore::compute(trace, HbConfig::new())
+    }
+
+    #[test]
+    fn fifo_delay_table() {
+        use PostKind::*;
+        assert!(fifo_delay_ok(Plain, Plain, true));
+        assert!(fifo_delay_ok(Plain, Delayed(5), true));
+        assert!(!fifo_delay_ok(Delayed(5), Plain, true));
+        assert!(fifo_delay_ok(Delayed(5), Delayed(5), true));
+        assert!(fifo_delay_ok(Delayed(5), Delayed(9), true));
+        assert!(!fifo_delay_ok(Delayed(9), Delayed(5), true));
+        assert!(!fifo_delay_ok(Plain, Front, true));
+        assert!(fifo_delay_ok(Front, Plain, true));
+        // unrefined mode ignores post kinds entirely
+        assert!(fifo_delay_ok(Delayed(9), Delayed(5), false));
+        assert!(fifo_delay_ok(Plain, Front, false));
+    }
+
+    #[test]
+    fn program_order_on_plain_thread() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("t", ThreadKind::App, true);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(t);
+        b.write(t, loc);
+        b.read(t, loc);
+        b.thread_exit(t);
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(0, 3));
+        assert!(hb.ordered(1, 2));
+        assert!(!hb.ordered(3, 0));
+    }
+
+    #[test]
+    fn fork_orders_parent_prefix_before_child() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.write(main, loc); // 1
+        b.fork(main, bg); // 2
+        b.thread_init(bg); // 3
+        b.read(bg, loc); // 4
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(1, 4), "write before fork ≺ read in child");
+        assert!(hb.ordered(2, 3));
+        assert!(!hb.ordered(4, 1));
+    }
+
+    #[test]
+    fn join_orders_child_before_parent_suffix() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.fork(main, bg); // 1
+        b.thread_init(bg); // 2
+        b.write(bg, loc); // 3
+        b.thread_exit(bg); // 4
+        b.join(main, bg); // 5
+        b.read(main, loc); // 6
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(3, 6));
+        assert!(hb.concurrent(0, 3) == false, "fork chain orders 0 before 3");
+    }
+
+    #[test]
+    fn lock_edges_cross_threads_only() {
+        // Two threads handing a lock across: release ≺ acquire.
+        let mut b = TraceBuilder::new();
+        let a = b.thread("a", ThreadKind::App, true);
+        let c = b.thread("c", ThreadKind::App, true);
+        let l = b.lock("m");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(a); // 0
+        b.thread_init(c); // 1
+        b.acquire(a, l); // 2
+        b.write(a, loc); // 3
+        b.release(a, l); // 4
+        b.acquire(c, l); // 5
+        b.read(c, loc); // 6
+        b.release(c, l); // 7
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(4, 5));
+        assert!(hb.ordered(3, 6), "write ≺ read through lock + program order");
+        assert!(!hb.ordered(1, 0));
+    }
+
+    /// The motivating restriction: two tasks on the same thread using the
+    /// same lock must NOT be ordered by the lock (locks cannot order tasks
+    /// that already run sequentially on one thread). The naive combination
+    /// derives the ordering; the paper's rules do not.
+    #[test]
+    fn same_thread_tasks_sharing_lock_stay_unordered() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let l = b.lock("m");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post(binder, t1, main); // 4
+        b.post(binder, t2, main); // 5  (unordered wrt. 4? no — same thread
+                                  //     binder program order orders them!)
+        b.begin(main, t1); // 6
+        b.acquire(main, l); // 7
+        b.write(main, loc); // 8
+        b.release(main, l); // 9
+        b.end(main, t1); // 10
+        b.begin(main, t2); // 11
+        b.acquire(main, l); // 12
+        b.read(main, loc); // 13
+        b.release(main, l); // 14
+        b.end(main, t2); // 15
+        let trace = b.finish();
+        // Full rules: the two posts are on the same (non-queue) binder
+        // thread, so NO-Q-PO orders them and FIFO orders the tasks: the
+        // accesses are ordered — but through FIFO, not through the lock.
+        let full = hb(&trace);
+        assert!(full.ordered(8, 13));
+
+        // Drop FIFO (and NOPRE) to isolate the lock: the paper's rules now
+        // leave the two accesses unordered, the naive combination orders
+        // them via the same-thread lock edge.
+        let mut rules = RuleSet::full();
+        rules.fifo = false;
+        rules.nopre = false;
+        let paper = HappensBefore::compute(
+            &trace,
+            HbConfig {
+                rules,
+                merge_accesses: true,
+            },
+        );
+        assert!(
+            paper.concurrent(8, 13),
+            "lock must not order same-thread tasks"
+        );
+
+        let mut naive = HbMode::NaiveCombined.rule_set();
+        naive.fifo = false;
+        naive.nopre = false;
+        let naive = HappensBefore::compute(
+            &trace,
+            HbConfig {
+                rules: naive,
+                merge_accesses: true,
+            },
+        );
+        assert!(
+            naive.ordered(8, 13),
+            "naive combination derives the spurious ordering"
+        );
+    }
+
+    use crate::rules::HbMode;
+
+    #[test]
+    fn lock_transitivity_through_other_thread_is_blocked() {
+        // Task A on main releases l; bg acquires/releases l; task B on main
+        // acquires l. Naive closure orders A ≺ B through bg; the paper's
+        // restricted transitivity does not (same-thread pair).
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let l = b.lock("m");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(bg); // 3
+        b.post(bg, t1, main); // 4
+        b.begin(main, t1); // 5
+        b.acquire(main, l); // 6
+        b.write(main, loc); // 7
+        b.release(main, l); // 8
+        b.end(main, t1); // 9
+        b.acquire(bg, l); // 10
+        b.release(bg, l); // 11
+        b.post(bg, t2, main); // 12 — NB: posted after t1's post on bg, so
+                              // FIFO would order the tasks; disable it below.
+        b.begin(main, t2); // 13
+        b.acquire(main, l); // 14
+        b.read(main, loc); // 15
+        b.release(main, l); // 16
+        b.end(main, t2); // 17
+        let trace = b.finish();
+        let mut rules = RuleSet::full();
+        rules.fifo = false;
+        rules.nopre = false;
+        let paper = HappensBefore::compute(
+            &trace,
+            HbConfig {
+                rules,
+                merge_accesses: false,
+            },
+        );
+        // Cross-thread orderings through the lock hold…
+        assert!(paper.ordered(8, 10));
+        assert!(paper.ordered(11, 14));
+        // …but the same-thread composition 8 ≺ 10 ≺ 11 ≺ 14 is blocked.
+        assert!(!paper.ordered(8, 14), "restricted transitivity");
+        assert!(paper.concurrent(7, 15));
+
+        let mut naive_rules = HbMode::NaiveCombined.rule_set();
+        naive_rules.fifo = false;
+        naive_rules.nopre = false;
+        let naive = HappensBefore::compute(
+            &trace,
+            HbConfig {
+                rules: naive_rules,
+                merge_accesses: false,
+            },
+        );
+        assert!(naive.ordered(8, 14));
+        assert!(naive.ordered(7, 15), "naive closure is unrestricted");
+    }
+
+    #[test]
+    fn fifo_orders_same_thread_tasks() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.post(main, t1, main); // 3
+        b.post(main, t2, main); // 4
+        b.begin(main, t1); // 5
+        b.write(main, loc); // 6
+        b.end(main, t1); // 7
+        b.begin(main, t2); // 8
+        b.read(main, loc); // 9
+        b.end(main, t2); // 10
+        let trace = b.finish();
+        let hb = hb(&trace);
+        // posts 3,4 ordered pre-loop? No: they are after loopOnQ on main but
+        // outside tasks… NO-Q-PO does not apply. They are both posted from
+        // the looping thread itself though — in a real trace posts happen
+        // inside tasks; here the FIFO premise β3 ≺ β4 needs another source.
+        // loopOnQ ≺ every later node on main (NO-Q-PO), but 3 ⊀ 4 unless
+        // derived. So this asserts NOPRE-free behaviour carefully:
+        // end(A) ≺ begin(B) iff post(A) ≺ post(B).
+        let ordered_posts = hb.ordered(3, 4);
+        assert_eq!(hb.ordered(7, 8), ordered_posts);
+        assert_eq!(hb.ordered(6, 9), ordered_posts);
+    }
+
+    #[test]
+    fn fifo_via_cross_thread_posts() {
+        // Binder posts A then B to main (binder has no queue → program
+        // order): FIFO orders the tasks on main.
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post(binder, t1, main); // 4
+        b.post(binder, t2, main); // 5
+        b.begin(main, t1); // 6
+        b.write(main, loc); // 7
+        b.end(main, t1); // 8
+        b.begin(main, t2); // 9
+        b.read(main, loc); // 10
+        b.end(main, t2); // 11
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(4, 5), "binder program order");
+        assert!(hb.ordered(8, 9), "FIFO edge end(A) ≺ begin(B)");
+        assert!(hb.ordered(7, 10), "accesses ordered transitively");
+    }
+
+    #[test]
+    fn nopre_orders_task_before_task_it_posts() {
+        // Task A posts B to its own thread: run-to-completion means A ends
+        // before B begins, even without comparing post operations.
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.post(main, t1, main); // 3
+        b.begin(main, t1); // 4
+        b.write(main, loc); // 5
+        b.post(main, t2, main); // 6 (inside task A)
+        b.end(main, t1); // 7
+        b.begin(main, t2); // 8
+        b.read(main, loc); // 9
+        b.end(main, t2); // 10
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(7, 8), "NOPRE edge");
+        assert!(hb.ordered(5, 9));
+    }
+
+    #[test]
+    fn unordered_posts_leave_tasks_unordered() {
+        // Two different threads post to main with no ordering between the
+        // posts: the two tasks race (single-threaded race candidate).
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg1 = b.thread("bg1", ThreadKind::App, true);
+        let bg2 = b.thread("bg2", ThreadKind::App, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(bg1); // 3
+        b.thread_init(bg2); // 4
+        b.post(bg1, t1, main); // 5
+        b.post(bg2, t2, main); // 6
+        b.begin(main, t1); // 7
+        b.write(main, loc); // 8
+        b.end(main, t1); // 9
+        b.begin(main, t2); // 10
+        b.read(main, loc); // 11
+        b.end(main, t2); // 12
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(!hb.ordered(5, 6));
+        assert!(hb.concurrent(8, 11), "the accesses race");
+    }
+
+    #[test]
+    fn enable_orders_into_posted_task() {
+        // Task A enables event task B; B is posted by binder later. The
+        // enable ≺ post edge plus NOPRE order A entirely before B.
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let t1 = b.task("LAUNCH_ACTIVITY");
+        let t2 = b.task("onDestroy");
+        let loc = b.loc("DwFileAct-obj", "isActivityDestroyed");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post(binder, t1, main); // 4
+        b.begin(main, t1); // 5
+        b.write(main, loc); // 6
+        b.enable(main, t2); // 7
+        b.end(main, t1); // 8
+        b.post(binder, t2, main); // 9
+        b.begin(main, t2); // 10
+        b.write(main, loc); // 11
+        b.end(main, t2); // 12
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(7, 9), "enable ≺ post");
+        assert!(hb.ordered(8, 10), "NOPRE through the enable edge");
+        assert!(hb.ordered(6, 11), "no race between the writes");
+    }
+
+    #[test]
+    fn delayed_post_breaks_fifo_one_way() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let slow = b.task("slow");
+        let fast = b.task("fast");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post_delayed(binder, slow, main, 1000); // 4
+        b.post(binder, fast, main); // 5
+        b.begin(main, fast); // 6
+        b.write(main, loc); // 7
+        b.end(main, fast); // 8
+        b.begin(main, slow); // 9
+        b.read(main, loc); // 10
+        b.end(main, slow); // 11
+        let trace = b.finish();
+        let hb = hb(&trace);
+        // posts ordered 4 ≺ 5 (binder PO), but FIFO must NOT order
+        // end(slow)…; here `fast` ran first. Check: end(fast) ≺ begin(slow)?
+        // That needs post(fast) ≺ post(slow) — false (5 after 4). And
+        // delayed-FIFO forbids slow-before-fast ordering. So the accesses
+        // race (delayed race category).
+        assert!(hb.concurrent(7, 10));
+    }
+
+    #[test]
+    fn delayed_posts_order_by_timeout() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let short = b.task("short");
+        let long = b.task("long");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post_delayed(binder, short, main, 10); // 4
+        b.post_delayed(binder, long, main, 1000); // 5
+        b.begin(main, short); // 6
+        b.write(main, loc); // 7
+        b.end(main, short); // 8
+        b.begin(main, long); // 9
+        b.read(main, loc); // 10
+        b.end(main, long); // 11
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(8, 9), "δ=10 ≤ δ=1000: FIFO applies");
+        assert!(hb.ordered(7, 10));
+    }
+
+    #[test]
+    fn front_post_extension_suppresses_fifo() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let a = b.task("A");
+        let urgent = b.task("urgent");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post(binder, a, main); // 4
+        b.post_front(binder, urgent, main); // 5
+        b.begin(main, urgent); // 6
+        b.write(main, loc); // 7
+        b.end(main, urgent); // 8
+        b.begin(main, a); // 9
+        b.read(main, loc); // 10
+        b.end(main, a); // 11
+        let trace = b.finish();
+        let hb = hb(&trace);
+        // post(A) ≺ post(urgent) but urgent may overtake: no FIFO edge, the
+        // accesses are concurrent.
+        assert!(hb.concurrent(7, 10));
+    }
+
+    #[test]
+    fn attach_q_precedes_cross_thread_posts() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, true);
+        let t1 = b.task("A");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(bg); // 3
+        b.post(bg, t1, main); // 4
+        b.begin(main, t1); // 5
+        b.end(main, t1); // 6
+        let trace = b.finish();
+        let hb = hb(&trace);
+        assert!(hb.ordered(1, 4), "ATTACH-Q-MT");
+    }
+
+    #[test]
+    fn merged_and_unmerged_agree_on_op_ordering() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc1 = b.loc("o1", "C.f");
+        let loc2 = b.loc("o2", "C.g");
+        b.thread_init(main);
+        b.write(main, loc1);
+        b.write(main, loc2);
+        b.fork(main, bg);
+        b.read(main, loc1);
+        b.thread_init(bg);
+        b.read(bg, loc1);
+        b.write(bg, loc2);
+        let trace = b.finish();
+        let merged = HappensBefore::compute(&trace, HbConfig::new());
+        let unmerged = HappensBefore::compute(&trace, HbConfig::new().without_merging());
+        for i in 0..trace.len() {
+            for j in 0..trace.len() {
+                assert_eq!(
+                    merged.ordered(i, j),
+                    unmerged.ordered(i, j),
+                    "ops {i},{j} disagree"
+                );
+            }
+        }
+        assert!(merged.graph().node_count() < unmerged.graph().node_count());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = TraceBuilder::new().finish();
+        let hb = HappensBefore::compute(&trace, HbConfig::new());
+        assert_eq!(hb.graph().node_count(), 0);
+        assert_eq!(hb.ordered_pairs(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Data race detection over a computed happens-before relation (§4.3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use droidracer_trace::{MemLoc, OpKind, Trace};
+
+use crate::engine::HappensBefore;
+use crate::graph::NodeId;
+
+/// The access pattern of a race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Both operations write.
+    WriteWrite,
+    /// The earlier operation writes, the later reads.
+    WriteRead,
+    /// The earlier operation reads, the later writes.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::WriteRead => "write-read",
+            RaceKind::ReadWrite => "read-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected data race: two conflicting operations with no happens-before
+/// ordering between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Race {
+    /// Trace index of the earlier operation.
+    pub first: usize,
+    /// Trace index of the later operation.
+    pub second: usize,
+    /// The memory location both access.
+    pub loc: MemLoc,
+    /// Which of the two operations write.
+    pub kind: RaceKind,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct BlockAccesses {
+    first_read: Option<usize>,
+    first_write: Option<usize>,
+}
+
+/// Finds all data races in `trace` under the relation `hb`.
+///
+/// Races are reported at the granularity of graph-node pairs: for each
+/// memory location and each unordered pair of access blocks touching it with
+/// at least one write, one representative [`Race`] is produced (preferring a
+/// write-write witness). Reporting per block pair rather than per operation
+/// pair loses nothing: all operations of a block share the same orderings.
+pub fn find_races(trace: &Trace, hb: &HappensBefore) -> Vec<Race> {
+    // location -> (node -> accesses)
+    let mut per_loc: HashMap<MemLoc, Vec<(NodeId, BlockAccesses)>> = HashMap::new();
+    let mut slot: HashMap<(MemLoc, NodeId), usize> = HashMap::new();
+    for (i, op) in trace.iter() {
+        let (loc, is_write) = match op.kind {
+            OpKind::Read { loc } => (loc, false),
+            OpKind::Write { loc } => (loc, true),
+            _ => continue,
+        };
+        let node = hb.graph().node_of(i);
+        let blocks = per_loc.entry(loc).or_default();
+        let idx = *slot.entry((loc, node)).or_insert_with(|| {
+            blocks.push((node, BlockAccesses::default()));
+            blocks.len() - 1
+        });
+        let acc = &mut blocks[idx].1;
+        let slot_ref = if is_write {
+            &mut acc.first_write
+        } else {
+            &mut acc.first_read
+        };
+        if slot_ref.is_none() {
+            *slot_ref = Some(i);
+        }
+    }
+    let mut races = Vec::new();
+    for (loc, blocks) in &per_loc {
+        for (i, (node_a, acc_a)) in blocks.iter().enumerate() {
+            for (node_b, acc_b) in &blocks[i + 1..] {
+                debug_assert_ne!(node_a, node_b);
+                if hb.ordered_nodes(*node_a, *node_b) || hb.ordered_nodes(*node_b, *node_a) {
+                    continue;
+                }
+                let Some(witness) = pick_witness(acc_a, acc_b) else {
+                    continue;
+                };
+                let (first, second) = (witness.0.min(witness.1), witness.0.max(witness.1));
+                let kind = match (
+                    trace.op(first).kind.is_write(),
+                    trace.op(second).kind.is_write(),
+                ) {
+                    (true, true) => RaceKind::WriteWrite,
+                    (true, false) => RaceKind::WriteRead,
+                    (false, true) => RaceKind::ReadWrite,
+                    (false, false) => unreachable!("a race witness has at least one write"),
+                };
+                races.push(Race {
+                    first,
+                    second,
+                    loc: *loc,
+                    kind,
+                });
+            }
+        }
+    }
+    // Deterministic output order: by location then positions.
+    races.sort_by_key(|r| (r.loc, r.first, r.second));
+    races
+}
+
+/// Picks a conflicting `(op_a, op_b)` pair across two blocks, preferring a
+/// write-write witness. Returns `None` when neither block writes.
+fn pick_witness(a: &BlockAccesses, b: &BlockAccesses) -> Option<(usize, usize)> {
+    match (a.first_write, b.first_write) {
+        (Some(wa), Some(wb)) => Some((wa, wb)),
+        (Some(wa), None) => b.first_read.map(|rb| (wa, rb)),
+        (None, Some(wb)) => a.first_read.map(|ra| (ra, wb)),
+        (None, None) => None,
+    }
+}
+
+/// Alias of [`find_races`], kept as the primary entry point name.
+pub fn detect(trace: &Trace, hb: &HappensBefore) -> Vec<Race> {
+    find_races(trace, hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::HbConfig;
+    use droidracer_trace::{ThreadKind, TraceBuilder};
+
+    fn analyze(trace: &Trace) -> Vec<Race> {
+        let hb = HappensBefore::compute(trace, HbConfig::new());
+        detect(trace, &hb)
+    }
+
+    #[test]
+    fn unsynchronized_cross_thread_accesses_race() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.fork(main, bg); // 1
+        b.thread_init(bg); // 2
+        b.write(bg, loc); // 3
+        b.read(main, loc); // 4
+        let trace = b.finish();
+        let races = analyze(&trace);
+        assert_eq!(races.len(), 1);
+        let r = races[0];
+        assert_eq!((r.first, r.second), (3, 4));
+        assert_eq!(r.kind, RaceKind::WriteRead);
+        assert_eq!(r.loc, loc);
+    }
+
+    #[test]
+    fn fork_synchronized_accesses_do_not_race() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main);
+        b.write(main, loc); // before fork
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.read(bg, loc);
+        let trace = b.finish();
+        assert!(analyze(&trace).is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.read(bg, loc);
+        b.read(main, loc);
+        let trace = b.finish();
+        assert!(analyze(&trace).is_empty());
+    }
+
+    #[test]
+    fn write_write_witness_is_preferred() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main); // 0
+        b.fork(main, bg); // 1
+        b.thread_init(bg); // 2
+        b.read(bg, loc); // 3 ┐ block
+        b.write(bg, loc); // 4 ┘
+        b.read(main, loc); // 5 ┐ block
+        b.write(main, loc); // 6 ┘
+        let trace = b.finish();
+        let races = analyze(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::WriteWrite);
+        assert_eq!((races[0].first, races[0].second), (4, 6));
+    }
+
+    #[test]
+    fn distinct_locations_are_independent() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc1 = b.loc("o1", "C.f");
+        let loc2 = b.loc("o2", "C.f"); // same field, other object
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc1);
+        b.write(bg, loc2);
+        b.write(main, loc1);
+        b.write(main, loc2);
+        let trace = b.finish();
+        let races = analyze(&trace);
+        // Races on the same field of different objects are separate reports
+        // (as in the paper).
+        assert_eq!(races.len(), 2);
+        let locs: Vec<MemLoc> = races.iter().map(|r| r.loc).collect();
+        assert!(locs.contains(&loc1) && locs.contains(&loc2));
+    }
+
+    #[test]
+    fn single_threaded_task_race_is_found() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg1 = b.thread("bg1", ThreadKind::App, true);
+        let bg2 = b.thread("bg2", ThreadKind::App, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(bg1);
+        b.thread_init(bg2);
+        b.post(bg1, t1, main); // unordered posts
+        b.post(bg2, t2, main);
+        b.begin(main, t1);
+        b.write(main, loc);
+        b.end(main, t1);
+        b.begin(main, t2);
+        b.write(main, loc);
+        b.end(main, t2);
+        let trace = b.finish();
+        let races = analyze(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn detection_results_are_deterministic() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc1 = b.loc("o1", "C.f");
+        let loc2 = b.loc("o2", "C.g");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc2);
+        b.write(bg, loc1);
+        b.write(main, loc1);
+        b.write(main, loc2);
+        let trace = b.finish();
+        let a = analyze(&trace);
+        let b2 = analyze(&trace);
+        assert_eq!(a, b2);
+        assert_eq!(a.len(), 2);
+        assert!(a[0].loc < a[1].loc);
+    }
+}

@@ -1,0 +1,315 @@
+//! End-to-end analysis: happens-before + detection + classification, with
+//! Table 3-style reporting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use droidracer_trace::{MemLoc, Trace};
+
+use crate::classify::{classify, RaceCategory};
+use crate::engine::HappensBefore;
+use crate::race::{detect, Race};
+use crate::rules::{HbConfig, HbMode};
+
+/// A race together with its §4.3 category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifiedRace {
+    /// The race.
+    pub race: Race,
+    /// Its category.
+    pub category: RaceCategory,
+}
+
+/// The result of analyzing one trace: the (cancellation-stripped) trace, the
+/// happens-before relation, and the classified races.
+///
+/// # Examples
+///
+/// ```
+/// use droidracer_trace::{TraceBuilder, ThreadKind};
+/// use droidracer_core::Analysis;
+///
+/// let mut b = TraceBuilder::new();
+/// let main = b.thread("main", ThreadKind::Main, true);
+/// let bg = b.thread("bg", ThreadKind::App, false);
+/// let loc = b.loc("obj", "C.state");
+/// b.thread_init(main);
+/// b.fork(main, bg);
+/// b.thread_init(bg);
+/// b.write(bg, loc);
+/// b.read(main, loc);
+///
+/// let analysis = Analysis::run(&b.finish());
+/// assert_eq!(analysis.races().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    trace: Trace,
+    hb: HappensBefore,
+    races: Vec<ClassifiedRace>,
+}
+
+impl Analysis {
+    /// Analyzes `trace` with the paper's full configuration.
+    pub fn run(trace: &Trace) -> Self {
+        Self::run_with(trace, HbConfig::new())
+    }
+
+    /// Analyzes `trace` under a baseline mode.
+    pub fn run_mode(trace: &Trace, mode: HbMode) -> Self {
+        Self::run_with(trace, HbConfig::for_mode(mode))
+    }
+
+    /// Analyzes `trace` with an explicit configuration. Cancelled posts are
+    /// stripped first (§4.2); the race indices refer to the stripped trace,
+    /// available as [`Analysis::trace`].
+    pub fn run_with(trace: &Trace, config: HbConfig) -> Self {
+        let trace = trace.without_cancelled();
+        let index = trace.index();
+        let hb = HappensBefore::compute_with_index(&trace, &index, config);
+        let races = detect(&trace, &hb)
+            .into_iter()
+            .map(|race| ClassifiedRace {
+                category: classify(&trace, &index, &hb, &race),
+                race,
+            })
+            .collect();
+        Analysis { trace, hb, races }
+    }
+
+    /// The analyzed trace (after cancellation stripping).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The happens-before relation.
+    pub fn hb(&self) -> &HappensBefore {
+        &self.hb
+    }
+
+    /// All classified races (one per unordered conflicting block pair).
+    pub fn races(&self) -> &[ClassifiedRace] {
+        &self.races
+    }
+
+    /// One representative race per `(location, category)` pair — the
+    /// reporting granularity of Table 3 ("if there are multiple races
+    /// belonging to the same category on the same memory location,
+    /// DroidRacer reports any one of them").
+    pub fn representatives(&self) -> Vec<ClassifiedRace> {
+        let mut seen: HashMap<(MemLoc, RaceCategory), ClassifiedRace> = HashMap::new();
+        for cr in &self.races {
+            seen.entry((cr.race.loc, cr.category)).or_insert(*cr);
+        }
+        let mut reps: Vec<ClassifiedRace> = seen.into_values().collect();
+        reps.sort_by_key(|cr| (cr.race.loc, cr.category, cr.race.first, cr.race.second));
+        reps
+    }
+
+    /// Number of representative races in `category`.
+    pub fn count(&self, category: RaceCategory) -> usize {
+        self.representatives()
+            .iter()
+            .filter(|cr| cr.category == category)
+            .count()
+    }
+
+    /// Representative counts for every category, in presentation order.
+    pub fn counts(&self) -> CategoryCounts {
+        let mut counts = CategoryCounts::default();
+        for cr in self.representatives() {
+            counts.add(cr.category, 1);
+        }
+        counts
+    }
+
+    /// Renders a human-readable report using the trace's name table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let names = self.trace.names();
+        let reps = self.representatives();
+        out.push_str(&format!(
+            "{} race report(s) on {} location(s)\n",
+            reps.len(),
+            reps.iter()
+                .map(|cr| cr.race.loc)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        ));
+        for cr in &reps {
+            let r = &cr.race;
+            out.push_str(&format!(
+                "  [{}] {} on {}: op {} `{}` vs op {} `{}`\n",
+                cr.category,
+                r.kind,
+                names.loc_name(r.loc),
+                r.first,
+                self.trace.op(r.first),
+                r.second,
+                self.trace.op(r.second),
+            ));
+        }
+        out
+    }
+}
+
+/// Race counts per category, in the shape of one row of Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// Multi-threaded races.
+    pub multithreaded: usize,
+    /// Co-enabled single-threaded races.
+    pub co_enabled: usize,
+    /// Delayed single-threaded races.
+    pub delayed: usize,
+    /// Cross-posted single-threaded races.
+    pub cross_posted: usize,
+    /// Unclassified races.
+    pub unknown: usize,
+}
+
+impl CategoryCounts {
+    /// Adds `n` to `category`.
+    pub fn add(&mut self, category: RaceCategory, n: usize) {
+        match category {
+            RaceCategory::Multithreaded => self.multithreaded += n,
+            RaceCategory::CoEnabled => self.co_enabled += n,
+            RaceCategory::Delayed => self.delayed += n,
+            RaceCategory::CrossPosted => self.cross_posted += n,
+            RaceCategory::Unknown => self.unknown += n,
+        }
+    }
+
+    /// Count for `category`.
+    pub fn get(&self, category: RaceCategory) -> usize {
+        match category {
+            RaceCategory::Multithreaded => self.multithreaded,
+            RaceCategory::CoEnabled => self.co_enabled,
+            RaceCategory::Delayed => self.delayed,
+            RaceCategory::CrossPosted => self.cross_posted,
+            RaceCategory::Unknown => self.unknown,
+        }
+    }
+
+    /// Total across categories.
+    pub fn total(&self) -> usize {
+        self.multithreaded + self.co_enabled + self.delayed + self.cross_posted + self.unknown
+    }
+
+    /// Element-wise sum.
+    pub fn merged(mut self, other: &CategoryCounts) -> CategoryCounts {
+        for cat in RaceCategory::all() {
+            self.add(cat, other.get(cat));
+        }
+        self
+    }
+}
+
+impl fmt::Display for CategoryCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mt={} cross-posted={} co-enabled={} delayed={} unknown={}",
+            self.multithreaded, self.cross_posted, self.co_enabled, self.delayed, self.unknown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_trace::{ThreadKind, TraceBuilder};
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("obj", "C.state");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc);
+        b.read(main, loc);
+        b.finish()
+    }
+
+    #[test]
+    fn analysis_finds_and_classifies() {
+        let analysis = Analysis::run(&racy_trace());
+        assert_eq!(analysis.races().len(), 1);
+        assert_eq!(analysis.count(RaceCategory::Multithreaded), 1);
+        assert_eq!(analysis.counts().total(), 1);
+    }
+
+    #[test]
+    fn representatives_dedup_by_location_and_category() {
+        // Two bg accesses in separate blocks race with main's block on the
+        // same location → 2 block-pair races, 1 representative.
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("obj", "C.state");
+        let l = b.lock("m");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc);
+        b.acquire(bg, l); // splits bg's accesses into two blocks
+        b.release(bg, l);
+        b.write(bg, loc);
+        b.read(main, loc);
+        let trace = b.finish();
+        let analysis = Analysis::run(&trace);
+        assert_eq!(analysis.races().len(), 2);
+        assert_eq!(analysis.representatives().len(), 1);
+    }
+
+    #[test]
+    fn cancelled_posts_are_stripped_before_analysis() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let t1 = b.task("A");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.post(main, t1, main);
+        b.cancel(main, t1);
+        let trace = b.finish();
+        let analysis = Analysis::run(&trace);
+        assert_eq!(analysis.trace().len(), 3);
+        assert!(analysis.races().is_empty());
+    }
+
+    #[test]
+    fn render_mentions_location_names() {
+        let analysis = Analysis::run(&racy_trace());
+        let text = analysis.render();
+        assert!(text.contains("C.state"), "got: {text}");
+        assert!(text.contains("multithreaded"), "got: {text}");
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let mut a = CategoryCounts::default();
+        a.add(RaceCategory::CoEnabled, 3);
+        a.add(RaceCategory::Unknown, 1);
+        let mut b = CategoryCounts::default();
+        b.add(RaceCategory::CoEnabled, 2);
+        let m = a.merged(&b);
+        assert_eq!(m.co_enabled, 5);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.get(RaceCategory::Unknown), 1);
+    }
+
+    #[test]
+    fn baseline_mode_analysis_runs() {
+        let trace = racy_trace();
+        for mode in HbMode::all() {
+            let analysis = Analysis::run_mode(&trace, mode);
+            // The mt race is visible to every mode that has fork edges; the
+            // async-only baseline misses fork and reports it too (as a
+            // "race") — either way analysis must not crash.
+            let _ = analysis.counts();
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Rule configuration for the happens-before engine.
+//!
+//! The engine derives the paper's relation `≺ = ≺st ∪ ≺mt` from the rules of
+//! Figures 6 and 7. Each rule can be toggled individually, and §4.1's
+//! "Specializations" paragraph — obtaining the relations for single-threaded
+//! event-driven programs and for plain multi-threaded programs — corresponds
+//! to the [`HbMode`] presets used as baselines in the evaluation.
+
+/// Fine-grained switches for the individual happens-before rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// NO-Q-PO: program order on threads before (or without) `loopOnQ`.
+    pub no_q_po: bool,
+    /// ASYNC-PO: program order within a single asynchronous task.
+    pub async_po: bool,
+    /// ENABLE-ST / ENABLE-MT: `enable(p) ≺ post(p)`.
+    pub enable: bool,
+    /// POST-ST / POST-MT: `post(p) ≺ begin(p)`.
+    pub post: bool,
+    /// ATTACH-Q-MT: `attachQ(t) ≺ post(_, _, t)` from another thread.
+    pub attach_q: bool,
+    /// FIFO: same-target tasks whose posts are ordered run in order.
+    pub fifo: bool,
+    /// NOPRE: run-to-completion — a task whose body reaches the post of a
+    /// later same-thread task finishes before that task begins.
+    pub nopre: bool,
+    /// FORK: `fork(t, t') ≺ threadinit(t')`.
+    pub fork: bool,
+    /// JOIN: `threadexit(t') ≺ join(t, t')`.
+    pub join: bool,
+    /// LOCK: `release(t, l) ≺ acquire(t', l)` for `t ≠ t'`.
+    pub lock: bool,
+    /// Whether transitivity is restricted as in the paper (TRANS-ST closes
+    /// `≺st` only; TRANS-MT yields orderings only between operations on
+    /// *different* threads). When `false` the engine computes the naive
+    /// transitive closure of the union of all base edges — the flawed
+    /// combination the introduction warns about.
+    pub restricted_transitivity: bool,
+    /// Derive `release ≺ acquire` even between two tasks on the *same*
+    /// thread (only meaningful in the naive combination; the paper's LOCK
+    /// rule requires distinct threads precisely to avoid this spurious
+    /// ordering).
+    pub same_thread_lock: bool,
+    /// Treat the whole thread as program-ordered even after `loopOnQ`
+    /// (the classic multi-threaded view that ignores task boundaries).
+    pub whole_thread_program_order: bool,
+    /// Apply the §4.2 refinement of FIFO for delayed posts (a delayed post
+    /// never blocks a non-delayed one; two delayed posts order by timeout).
+    /// When `false`, FIFO treats every post as plain.
+    pub delayed_fifo: bool,
+}
+
+impl RuleSet {
+    /// The full rule set of the paper (Figures 6 and 7 plus the §4.2
+    /// task-management refinements).
+    pub fn full() -> Self {
+        RuleSet {
+            no_q_po: true,
+            async_po: true,
+            enable: true,
+            post: true,
+            attach_q: true,
+            fifo: true,
+            nopre: true,
+            fork: true,
+            join: true,
+            lock: true,
+            restricted_transitivity: true,
+            same_thread_lock: false,
+            whole_thread_program_order: false,
+            delayed_fifo: true,
+        }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::full()
+    }
+}
+
+/// Preset happens-before relations: the paper's relation plus the baseline
+/// specializations it is compared against (§4.1 "Specializations", §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HbMode {
+    /// The paper's combined relation (DroidRacer).
+    #[default]
+    Full,
+    /// Classic multi-threaded happens-before: whole-thread program order,
+    /// fork/join/lock edges, no knowledge of asynchronous dispatch. Misses
+    /// every single-threaded race (§7: analyses for multi-threaded programs
+    /// "filter away races among procedures running on the same thread").
+    MultithreadedOnly,
+    /// Single-threaded event-driven happens-before (Raychev et al. style):
+    /// only the thread-local rules, no inter-thread edges. Produces false
+    /// positives wherever real synchronization crosses threads.
+    AsyncOnly,
+    /// The naive combination the introduction warns about: all rules plus
+    /// lock edges between same-thread tasks and unrestricted transitivity,
+    /// which spuriously orders two tasks on one thread that use one lock.
+    NaiveCombined,
+    /// Asynchronous calls simulated as additional threads (§7: "do not scale
+    /// or produce many false positives, if asynchronous calls are simulated
+    /// through additional threads"): posts become forks, but FIFO and
+    /// run-to-completion orderings are lost.
+    EventsAsThreads,
+}
+
+impl HbMode {
+    /// The rule set implementing this mode.
+    pub fn rule_set(self) -> RuleSet {
+        let full = RuleSet::full();
+        match self {
+            HbMode::Full => full,
+            HbMode::MultithreadedOnly => RuleSet {
+                async_po: false,
+                enable: false,
+                post: false,
+                attach_q: false,
+                fifo: false,
+                nopre: false,
+                whole_thread_program_order: true,
+                restricted_transitivity: false,
+                ..full
+            },
+            HbMode::AsyncOnly => RuleSet {
+                attach_q: false,
+                fork: false,
+                join: false,
+                lock: false,
+                ..full
+            },
+            HbMode::NaiveCombined => RuleSet {
+                restricted_transitivity: false,
+                same_thread_lock: true,
+                ..full
+            },
+            HbMode::EventsAsThreads => RuleSet {
+                enable: false,
+                attach_q: false,
+                fifo: false,
+                nopre: false,
+                restricted_transitivity: false,
+                ..full
+            },
+        }
+    }
+
+    /// All modes, for ablation sweeps.
+    pub fn all() -> [HbMode; 5] {
+        [
+            HbMode::Full,
+            HbMode::MultithreadedOnly,
+            HbMode::AsyncOnly,
+            HbMode::NaiveCombined,
+            HbMode::EventsAsThreads,
+        ]
+    }
+
+    /// Short display label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            HbMode::Full => "droidracer",
+            HbMode::MultithreadedOnly => "mt-only",
+            HbMode::AsyncOnly => "async-only",
+            HbMode::NaiveCombined => "naive-combined",
+            HbMode::EventsAsThreads => "events-as-threads",
+        }
+    }
+}
+
+impl std::fmt::Display for HbMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for one happens-before computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbConfig {
+    /// Which rules to apply.
+    pub rules: RuleSet,
+    /// Whether to merge contiguous accesses into block nodes (the §6
+    /// optimization). Merging preserves the reported races exactly.
+    pub merge_accesses: bool,
+}
+
+impl HbConfig {
+    /// The paper's configuration: full rules with node merging.
+    pub fn new() -> Self {
+        HbConfig {
+            rules: RuleSet::full(),
+            merge_accesses: true,
+        }
+    }
+
+    /// Configuration for a preset mode.
+    pub fn for_mode(mode: HbMode) -> Self {
+        HbConfig {
+            rules: mode.rule_set(),
+            merge_accesses: true,
+        }
+    }
+
+    /// Disables node merging (used by tests and the E3 bench).
+    pub fn without_merging(mut self) -> Self {
+        self.merge_accesses = false;
+        self
+    }
+}
+
+impl Default for HbConfig {
+    fn default() -> Self {
+        HbConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_enables_everything() {
+        let r = HbMode::Full.rule_set();
+        assert!(r.fifo && r.nopre && r.lock && r.restricted_transitivity);
+        assert!(!r.same_thread_lock && !r.whole_thread_program_order);
+    }
+
+    #[test]
+    fn mt_only_drops_async_rules() {
+        let r = HbMode::MultithreadedOnly.rule_set();
+        assert!(!r.fifo && !r.nopre && !r.post && !r.enable);
+        assert!(r.fork && r.join && r.lock);
+        assert!(r.whole_thread_program_order);
+    }
+
+    #[test]
+    fn async_only_drops_inter_thread_rules() {
+        let r = HbMode::AsyncOnly.rule_set();
+        assert!(!r.fork && !r.join && !r.lock && !r.attach_q);
+        assert!(r.fifo && r.nopre && r.enable && r.post);
+    }
+
+    #[test]
+    fn naive_combined_relaxes_transitivity_and_locks() {
+        let r = HbMode::NaiveCombined.rule_set();
+        assert!(!r.restricted_transitivity);
+        assert!(r.same_thread_lock);
+        assert!(r.fifo && r.nopre);
+    }
+
+    #[test]
+    fn events_as_threads_keeps_posts_but_not_fifo() {
+        let r = HbMode::EventsAsThreads.rule_set();
+        assert!(r.post && r.fork);
+        assert!(!r.fifo && !r.nopre && !r.enable);
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        let labels: Vec<&str> = HbMode::all().iter().map(|m| m.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

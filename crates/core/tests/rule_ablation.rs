@@ -1,0 +1,381 @@
+//! Per-rule ablation: for every happens-before rule of Figures 6 and 7 (and
+//! the §4.2 delayed refinement), a minimal trace whose verdict flips when
+//! exactly that rule is disabled — pinning each rule's individual
+//! contribution to precision.
+
+use droidracer_core::{Analysis, HbConfig, RuleSet};
+use droidracer_trace::{validate, ThreadKind, Trace, TraceBuilder};
+
+fn races_with(trace: &Trace, rules: RuleSet) -> usize {
+    assert_eq!(validate(trace), Ok(()), "ablation traces must be feasible");
+    Analysis::run_with(
+        trace,
+        HbConfig {
+            rules,
+            merge_accesses: true,
+        },
+    )
+    .representatives()
+    .len()
+}
+
+/// Asserts the trace is race-free under full rules and racy once `mutate`
+/// disables the rule under test.
+fn rule_suppresses_race(trace: &Trace, mutate: impl FnOnce(&mut RuleSet)) {
+    let full = RuleSet::full();
+    assert_eq!(races_with(trace, full), 0, "full rules must order the pair");
+    let mut ablated = full;
+    mutate(&mut ablated);
+    assert!(
+        races_with(trace, ablated) > 0,
+        "disabling the rule must expose the race"
+    );
+}
+
+#[test]
+fn no_q_po_orders_plain_thread_accesses() {
+    // A single plain thread writing then reading: only program order
+    // (NO-Q-PO) orders the pair.
+    let mut b = TraceBuilder::new();
+    let t = b.thread("t", ThreadKind::App, true);
+    let loc = b.loc("o", "C.f");
+    b.thread_init(t);
+    b.write(t, loc);
+    b.read(t, loc);
+    // Node merging would fuse the two accesses (they are ordered within a
+    // block regardless); split them with an intervening sync op.
+    let mut b2 = TraceBuilder::new();
+    let t = b2.thread("t", ThreadKind::App, true);
+    let loc = b2.loc("o", "C.f");
+    let l = b2.lock("m");
+    b2.thread_init(t);
+    b2.write(t, loc);
+    b2.acquire(t, l);
+    b2.release(t, l);
+    b2.read(t, loc);
+    rule_suppresses_race(&b2.finish(), |r| r.no_q_po = false);
+    drop(b);
+}
+
+#[test]
+fn async_po_orders_accesses_within_a_task() {
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "C.f");
+    let l = b.lock("m");
+    let task = b.task("T");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.post(main, task, main);
+    b.begin(main, task);
+    b.write(main, loc);
+    b.acquire(main, l); // splits the access block
+    b.release(main, l);
+    b.read(main, loc);
+    b.end(main, task);
+    rule_suppresses_race(&b.finish(), |r| r.async_po = false);
+}
+
+#[test]
+fn post_rule_orders_poster_before_task() {
+    // Write before a cross-thread post vs read inside the posted task:
+    // ordered via POST(-MT) → begin, broken when `post` is disabled.
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let bg = b.thread("bg", ThreadKind::App, true);
+    let loc = b.loc("o", "C.f");
+    let task = b.task("T");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(bg);
+    b.write(bg, loc);
+    b.post(bg, task, main);
+    b.begin(main, task);
+    b.read(main, loc);
+    b.end(main, task);
+    rule_suppresses_race(&b.finish(), |r| r.post = false);
+}
+
+#[test]
+fn enable_rule_orders_enabler_before_gated_task() {
+    // The Figure 4 shape: LAUNCH's write vs onDestroy's write, ordered only
+    // through the enable edge.
+    let mut b = TraceBuilder::new();
+    let binder = b.thread("binder", ThreadKind::Binder, true);
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "isDestroyed");
+    let launch = b.task("LAUNCH");
+    let destroy = b.task("onDestroy");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(binder);
+    b.post(binder, launch, main);
+    b.begin(main, launch);
+    b.write(main, loc);
+    b.enable(main, destroy);
+    b.end(main, launch);
+    b.post(binder, destroy, main);
+    b.begin(main, destroy);
+    b.write(main, loc);
+    b.end(main, destroy);
+    // Disabling `enable` also disables the NOPRE derivation through it, but
+    // FIFO still needs post(launch) ≺ post(destroy), which holds via binder
+    // program order… so FIFO must go too for the race to appear; instead
+    // make the posts unordered by using a second binder thread.
+    let mut b = TraceBuilder::new();
+    let binder1 = b.thread("binder1", ThreadKind::Binder, true);
+    let binder2 = b.thread("binder2", ThreadKind::Binder, true);
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "isDestroyed");
+    let launch = b.task("LAUNCH");
+    let destroy = b.task("onDestroy");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(binder1);
+    b.thread_init(binder2);
+    b.post(binder1, launch, main);
+    b.begin(main, launch);
+    b.write(main, loc);
+    b.enable(main, destroy);
+    b.end(main, launch);
+    b.post(binder2, destroy, main);
+    b.begin(main, destroy);
+    b.write(main, loc);
+    b.end(main, destroy);
+    rule_suppresses_race(&b.finish(), |r| r.enable = false);
+    let _ = (binder, launch, destroy, loc, main);
+}
+
+#[test]
+fn fifo_orders_same_poster_tasks() {
+    let mut b = TraceBuilder::new();
+    let binder = b.thread("binder", ThreadKind::Binder, true);
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "C.f");
+    let t1 = b.task("A");
+    let t2 = b.task("B");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(binder);
+    b.post(binder, t1, main);
+    b.post(binder, t2, main);
+    b.begin(main, t1);
+    b.write(main, loc);
+    b.end(main, t1);
+    b.begin(main, t2);
+    b.write(main, loc);
+    b.end(main, t2);
+    rule_suppresses_race(&b.finish(), |r| r.fifo = false);
+}
+
+#[test]
+fn nopre_orders_task_before_its_posted_successor() {
+    // The case where NOPRE is genuinely irreplaceable: the two posts to
+    // `main` are issued from two *tasks of another looper* whose own posts
+    // come from unrelated threads. The posts are then on one thread (the
+    // looper) but in unordered tasks, so FIFO's premise `post(p1) ≺
+    // post(p2)` is underivable — while an `enable` inside p1 still reaches
+    // post(p2), which is exactly NOPRE's premise.
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let looper = b.thread("dispatcher", ThreadKind::App, true);
+    let w1 = b.thread("w1", ThreadKind::App, true);
+    let w2 = b.thread("w2", ThreadKind::App, true);
+    let loc = b.loc("o", "C.f");
+    let q1 = b.task("q1");
+    let q2 = b.task("q2");
+    let p1 = b.task("p1");
+    let p2 = b.task("p2");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(looper);
+    b.attach_q(looper);
+    b.loop_on_q(looper);
+    b.thread_init(w1);
+    b.thread_init(w2);
+    b.post(w1, q1, looper);
+    b.begin(looper, q1);
+    b.post(looper, p1, main);
+    b.end(looper, q1);
+    b.begin(main, p1);
+    b.write(main, loc);
+    b.enable(main, p2);
+    b.end(main, p1);
+    b.post(w2, q2, looper);
+    b.begin(looper, q2);
+    b.post(looper, p2, main);
+    b.end(looper, q2);
+    b.begin(main, p2);
+    b.write(main, loc);
+    b.end(main, p2);
+    rule_suppresses_race(&b.finish(), |r| r.nopre = false);
+}
+
+#[test]
+fn fork_rule_orders_parent_prefix_before_child() {
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let bg = b.thread("bg", ThreadKind::App, false);
+    let loc = b.loc("o", "C.f");
+    b.thread_init(main);
+    b.write(main, loc);
+    b.fork(main, bg);
+    b.thread_init(bg);
+    b.read(bg, loc);
+    rule_suppresses_race(&b.finish(), |r| r.fork = false);
+}
+
+#[test]
+fn join_rule_orders_child_before_parent_suffix() {
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let bg = b.thread("bg", ThreadKind::App, false);
+    let loc = b.loc("o", "C.f");
+    b.thread_init(main);
+    b.fork(main, bg);
+    b.thread_init(bg);
+    b.write(bg, loc);
+    b.thread_exit(bg);
+    b.join(main, bg);
+    b.read(main, loc);
+    rule_suppresses_race(&b.finish(), |r| r.join = false);
+}
+
+#[test]
+fn lock_rule_orders_cross_thread_handoff() {
+    let mut b = TraceBuilder::new();
+    let a = b.thread("a", ThreadKind::App, true);
+    let c = b.thread("c", ThreadKind::App, true);
+    let l = b.lock("m");
+    let loc = b.loc("o", "C.f");
+    b.thread_init(a);
+    b.thread_init(c);
+    b.acquire(a, l);
+    b.write(a, loc);
+    b.release(a, l);
+    b.acquire(c, l);
+    b.write(c, loc);
+    b.release(c, l);
+    rule_suppresses_race(&b.finish(), |r| r.lock = false);
+}
+
+#[test]
+fn delayed_fifo_refinement_unlocks_the_delayed_race() {
+    // A delayed post followed by a plain post: with the refinement OFF the
+    // naive FIFO rule orders the tasks (post order suffices) and misses the
+    // race; with it ON the race is reported.
+    let mut b = TraceBuilder::new();
+    let binder = b.thread("binder", ThreadKind::Binder, true);
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "C.f");
+    let slow = b.task("slow");
+    let fast = b.task("fast");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(binder);
+    b.post_delayed(binder, slow, main, 500);
+    b.post(binder, fast, main);
+    b.begin(main, fast);
+    b.write(main, loc);
+    b.end(main, fast);
+    b.begin(main, slow);
+    b.write(main, loc);
+    b.end(main, slow);
+    let trace = b.finish();
+    let full = RuleSet::full();
+    assert_eq!(races_with(&trace, full), 1, "the delayed race is real");
+    let mut unrefined = full;
+    unrefined.delayed_fifo = false;
+    // Without the refinement, FIFO requires post(slow) ≺ post(fast) to
+    // order end(slow) before begin(fast) — but the trace ran `fast` FIRST,
+    // so the applicable pair is end(fast) ≺ begin(slow) needing
+    // post(fast) ≺ post(slow), which is false. The other direction ordered
+    // begin... in this trace order the unrefined rule checks
+    // end(fast)/begin(slow) with post(fast) ⊀ post(slow): no edge either —
+    // so the unrefined semantics ALSO reports the race here. Construct the
+    // missed-race direction instead: slow runs first.
+    let mut b = TraceBuilder::new();
+    let binder = b.thread("binder", ThreadKind::Binder, true);
+    let main = b.thread("main", ThreadKind::Main, true);
+    let loc = b.loc("o", "C.f");
+    let slow = b.task("slow");
+    let fast = b.task("fast");
+    b.thread_init(main);
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.thread_init(binder);
+    b.post_delayed(binder, slow, main, 500);
+    b.post(binder, fast, main);
+    b.begin(main, slow); // timeout elapsed before fast was dequeued
+    b.write(main, loc);
+    b.end(main, slow);
+    b.begin(main, fast);
+    b.write(main, loc);
+    b.end(main, fast);
+    let trace2 = b.finish();
+    assert_eq!(
+        races_with(&trace2, full),
+        1,
+        "refined FIFO knows the delayed task does not gate the plain one"
+    );
+    assert_eq!(
+        races_with(&trace2, unrefined),
+        0,
+        "unrefined FIFO spuriously orders slow ≺ fast via the post order"
+    );
+    let _ = binder;
+}
+
+#[test]
+fn attach_q_rule_is_subsumed_but_present() {
+    // ATTACH-Q-MT rarely decides a race alone (posts also have POST edges),
+    // but it must exist: a write before attachQ on the looper vs a read in
+    // a task posted by a thread with no other connection.
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let bg = b.thread("bg", ThreadKind::App, true);
+    let loc = b.loc("o", "C.f");
+    let t1 = b.task("T");
+    b.thread_init(bg); // bg exists first
+    b.thread_init(main);
+    b.write(main, loc); // before attachQ
+    b.attach_q(main);
+    b.loop_on_q(main);
+    b.post(bg, t1, main);
+    b.begin(main, t1);
+    b.read(main, loc);
+    b.end(main, t1);
+    let trace = b.finish();
+    // The write and the read are on the SAME thread: NO-Q-PO already orders
+    // pre-loop ops before everything later, so this stays race-free even
+    // without attach_q. The rule's observable effect: ordering the write
+    // against the POST op on bg (cross-thread). Check the ordering itself.
+    let full_hb = Analysis::run_with(
+        &trace,
+        HbConfig {
+            rules: RuleSet::full(),
+            merge_accesses: false,
+        },
+    );
+    assert!(full_hb.hb().ordered(3, 5), "attachQ ≺ post via ATTACH-Q-MT");
+    let mut rules = RuleSet::full();
+    rules.attach_q = false;
+    let ablated = Analysis::run_with(
+        &trace,
+        HbConfig {
+            rules,
+            merge_accesses: false,
+        },
+    );
+    assert!(
+        !ablated.hb().ordered(3, 5),
+        "without the rule the pair is unordered"
+    );
+}

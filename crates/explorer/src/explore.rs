@@ -1,0 +1,232 @@
+//! Systematic depth-first exploration of UI event sequences.
+//!
+//! DroidRacer's UI Explorer "systematically generates event sequences of
+//! length k in a depth-first manner" (§5), storing them for backtracking and
+//! replay. [`enumerate_sequences`] performs the same enumeration over the
+//! abstract UI state of an [`App`]; [`run_sequence`] compiles and executes
+//! one sequence, producing the trace the Race Detector consumes.
+
+use droidracer_framework::{compile, App, CompileError, UiEvent, UiState};
+use droidracer_sim::{run, RandomScheduler, SimConfig, SimError, SimResult};
+
+/// Limits for an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorerConfig {
+    /// Bound `k` on the length of UI event sequences (the paper uses 1–7,
+    /// and 1–3 for applications with complex start-up behaviour).
+    pub max_depth: usize,
+    /// Cap on the number of sequences enumerated (the DFS can explode).
+    pub max_sequences: usize,
+    /// Scheduler seed used when running a sequence.
+    pub seed: u64,
+    /// Step budget per run.
+    pub max_steps: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            max_depth: 3,
+            max_sequences: 256,
+            seed: 0,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// Enumerates all available event sequences of length `1..=max_depth` in
+/// depth-first order (each prefix is emitted before its extensions).
+pub fn enumerate_sequences(app: &App, config: &ExplorerConfig) -> Vec<Vec<UiEvent>> {
+    let mut out = Vec::new();
+    let Some(initial) = UiState::initial(app) else {
+        return out;
+    };
+    let mut prefix = Vec::new();
+    dfs(app, &initial, &mut prefix, config, &mut out);
+    out
+}
+
+fn dfs(
+    app: &App,
+    state: &UiState,
+    prefix: &mut Vec<UiEvent>,
+    config: &ExplorerConfig,
+    out: &mut Vec<Vec<UiEvent>>,
+) {
+    if prefix.len() >= config.max_depth || out.len() >= config.max_sequences {
+        return;
+    }
+    for event in state.available_events(app) {
+        if out.len() >= config.max_sequences {
+            return;
+        }
+        let Some(next) = state.apply(app, event) else {
+            continue;
+        };
+        prefix.push(event);
+        out.push(prefix.clone());
+        dfs(app, &next, prefix, config, out);
+        prefix.pop();
+    }
+}
+
+/// A failure while testing one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// The sequence did not compile against the app.
+    Compile(CompileError),
+    /// The simulator rejected the program.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Compile(e) => write!(f, "compile error: {e}"),
+            ExploreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<CompileError> for ExploreError {
+    fn from(e: CompileError) -> Self {
+        ExploreError::Compile(e)
+    }
+}
+
+impl From<SimError> for ExploreError {
+    fn from(e: SimError) -> Self {
+        ExploreError::Sim(e)
+    }
+}
+
+/// Compiles `app` with `events` and executes it once under a seeded random
+/// scheduler, returning the simulation result (trace + decision vector).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if compilation or simulation fails.
+pub fn run_sequence(
+    app: &App,
+    events: &[UiEvent],
+    config: &ExplorerConfig,
+) -> Result<SimResult, ExploreError> {
+    let compiled = compile(app, events)?;
+    let result = run(
+        &compiled.program,
+        &mut RandomScheduler::new(config.seed),
+        &SimConfig {
+            max_steps: config.max_steps,
+        },
+    )?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_framework::{AppBuilder, Stmt};
+    use droidracer_trace::validate;
+
+    fn small_app() -> App {
+        let mut b = AppBuilder::new("Small");
+        let a = b.activity("Main");
+        let v = b.var("o", "C.f");
+        b.button(a, "one", vec![Stmt::Write(v)]);
+        b.button(a, "two", vec![Stmt::Read(v)]);
+        b.finish()
+    }
+
+    #[test]
+    fn enumeration_is_depth_first_with_prefixes() {
+        let app = small_app();
+        let seqs = enumerate_sequences(
+            &app,
+            &ExplorerConfig {
+                max_depth: 2,
+                ..ExplorerConfig::default()
+            },
+        );
+        // 4 events per screen (two clicks, rotate, back); back exits.
+        // depth 1: 4 sequences; each non-back extends by its screen's events.
+        assert!(seqs.iter().any(|s| s.len() == 1));
+        assert!(seqs.iter().any(|s| s.len() == 2));
+        // Prefix property of DFS: each length-2 sequence appears right after
+        // its length-1 prefix somewhere in the order.
+        for (i, s) in seqs.iter().enumerate() {
+            if s.len() == 2 {
+                let prefix = &s[..1];
+                assert!(
+                    seqs[..i].iter().any(|p| p.as_slice() == prefix),
+                    "prefix of {s:?} not enumerated before it"
+                );
+            }
+        }
+        // No sequence extends past a Back that emptied the stack.
+        for s in &seqs {
+            if let Some(pos) = s.iter().position(|e| *e == UiEvent::Back) {
+                assert_eq!(pos, s.len() - 1, "events after exit in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_cap_is_respected() {
+        let app = small_app();
+        let seqs = enumerate_sequences(
+            &app,
+            &ExplorerConfig {
+                max_depth: 5,
+                max_sequences: 10,
+                ..ExplorerConfig::default()
+            },
+        );
+        assert_eq!(seqs.len(), 10);
+    }
+
+    #[test]
+    fn depth_bound_is_respected() {
+        let app = small_app();
+        let seqs = enumerate_sequences(
+            &app,
+            &ExplorerConfig {
+                max_depth: 3,
+                max_sequences: 100_000,
+                ..ExplorerConfig::default()
+            },
+        );
+        assert!(seqs.iter().all(|s| s.len() <= 3));
+        assert!(!seqs.is_empty());
+    }
+
+    #[test]
+    fn run_sequence_produces_valid_trace() {
+        let app = small_app();
+        let seqs = enumerate_sequences(&app, &ExplorerConfig::default());
+        let result = run_sequence(&app, &seqs[0], &ExplorerConfig::default()).expect("runs");
+        assert_eq!(validate(&result.trace), Ok(()));
+        assert!(result.completed);
+    }
+
+    #[test]
+    fn every_enumerated_sequence_runs_validly() {
+        let app = small_app();
+        let config = ExplorerConfig {
+            max_depth: 2,
+            ..ExplorerConfig::default()
+        };
+        let seqs = enumerate_sequences(&app, &config);
+        for seq in &seqs {
+            let result = run_sequence(&app, seq, &config).expect("runs");
+            assert_eq!(validate(&result.trace), Ok(()), "sequence {seq:?}");
+        }
+    }
+
+    #[test]
+    fn app_without_activities_yields_nothing() {
+        let app = AppBuilder::new("Empty").finish();
+        assert!(enumerate_sequences(&app, &ExplorerConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! An executable model of the Android runtime environment.
+//!
+//! This crate substitutes for the Android framework that DroidRacer
+//! instruments: it models the concepts the paper's analysis depends on —
+//! activity lifecycles (Figure 8), `ActivityManagerService` acting through a
+//! binder thread, `AsyncTask`, `Handler`/`Looper` posting (including
+//! `HandlerThread` loopers), services, broadcast receivers and the UI — and
+//! compiles an application description plus a UI event sequence down to a
+//! [`droidracer_sim::Program`] whose traces exercise exactly the operation
+//! patterns the real framework produces.
+//!
+//! * [`AppBuilder`] / [`App`] — describe an application in the [`Stmt`]
+//!   language;
+//! * [`UiEvent`] / [`UiState`] — the event alphabet and abstract screen
+//!   state used by the explorer;
+//! * [`compile`] — lower to a runnable simulator program;
+//! * [`lifecycle`] — the Figure 8 activity lifecycle automaton.
+//!
+//! # Examples
+//!
+//! ```
+//! use droidracer_framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
+//! use droidracer_sim::{run, RandomScheduler, SimConfig};
+//! use droidracer_trace::validate;
+//!
+//! let mut b = AppBuilder::new("Example");
+//! let act = b.activity("MainActivity");
+//! let counter = b.var("MainActivity-obj", "clickCount");
+//! let btn = b.button(act, "inc", vec![Stmt::Write(counter)]);
+//! let app = b.finish();
+//!
+//! let compiled = compile(&app, &[UiEvent::Widget(btn, UiEventKind::Click)])?;
+//! let result = run(&compiled.program, &mut RandomScheduler::new(1), &SimConfig::default())?;
+//! assert!(result.completed);
+//! validate(&result.trace)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod app;
+mod compile;
+pub mod lifecycle;
+mod ui;
+
+pub use app::{
+    ActivityId, App, AppBuilder, AsyncTaskId, CallbackBodies, HandlerId, HandlerThreadId, Mutex,
+    ReceiverId, ServiceId, Stmt, UiEventKind, Var, WidgetId, WorkerId,
+};
+pub use compile::{compile, CompileError, CompiledApp, LifecycleTask};
+pub use ui::{UiEvent, UiState};

@@ -1,0 +1,55 @@
+//! A deterministic simulator for the Android concurrency model.
+//!
+//! This crate is the reproduction's substitute for the instrumented Dalvik
+//! VM that DroidRacer runs applications on: programs written in the core
+//! language of §3 (threads, task queues, asynchronous posts, locks, memory
+//! accesses, `enable` operations) are interpreted under a pluggable
+//! [`Scheduler`], emitting execution traces that satisfy the operational
+//! semantics of Figure 5 (checked by [`droidracer_trace::validate`]).
+//!
+//! * [`Program`] / [`ProgramBuilder`] — the application model,
+//! * [`run`] — the interpreter,
+//! * [`RoundRobinScheduler`], [`RandomScheduler`], [`ScriptedScheduler`] —
+//!   schedules, including exact replay from a recorded decision vector (the
+//!   backbone of the UI Explorer's backtracking).
+//!
+//! # Examples
+//!
+//! ```
+//! use droidracer_sim::{run, Action, ProgramBuilder, RandomScheduler, SimConfig, ThreadSpec};
+//! use droidracer_trace::{validate, PostKind, ThreadKind};
+//!
+//! let mut p = ProgramBuilder::new();
+//! let main = p.thread(ThreadSpec::app("main").kind(ThreadKind::Main).initial().with_queue());
+//! let bg = p.thread(ThreadSpec::app("bg"));
+//! let flag = p.loc("activity", "Act.destroyed");
+//! let update = p.task("onUpdate", vec![Action::Read(flag)]);
+//! p.set_thread_body(main, vec![Action::Write(flag), Action::Fork(bg)]);
+//! p.set_thread_body(bg, vec![
+//!     Action::Read(flag),
+//!     Action::Post { task: update, target: main, kind: PostKind::Plain },
+//! ]);
+//!
+//! let result = run(&p.finish()?, &mut RandomScheduler::new(7), &SimConfig::default())?;
+//! assert!(result.completed);
+//! validate(&result.trace)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod explore;
+mod program;
+mod runtime;
+mod scheduler;
+
+pub use explore::{explore_schedules, explore_schedules_reduced, Exploration, ExploreConfig};
+pub use program::{
+    Action, Injection, LocRef, LockRef, Program, ProgramBuilder, ProgramError, TaskRef, ThreadRef,
+    ThreadSpec,
+};
+pub use runtime::{run, SimConfig, SimError, SimResult};
+pub use scheduler::{
+    Choice, RandomScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler, StallScheduler,
+};

@@ -1,0 +1,448 @@
+//! A line-based text format for traces.
+//!
+//! The real DroidRacer logs traces from the instrumented VM and analyses them
+//! offline; this module plays the same role, letting traces be written to
+//! disk by the simulator and read back by the detector or the replay
+//! database. The format is deliberately simple: one declaration or operation
+//! per line.
+//!
+//! ```text
+//! droidracer-trace v1
+//! thread t0 main initial "main"
+//! task p0 "LAUNCH_ACTIVITY"
+//! op post t0 p0 t0 delay=100 event=e0
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{EventId, FieldId, LockId, MemLoc, ObjectId, TaskId, ThreadId, ThreadKind};
+use crate::names::Names;
+use crate::op::{Op, OpKind, PostKind};
+use crate::trace::Trace;
+
+const HEADER: &str = "droidracer-trace v1";
+
+/// An error produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Serializes `trace` to the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    let names = trace.names();
+    for (id, decl) in names.threads() {
+        out.push_str(&format!(
+            "thread {id} {}{} {}\n",
+            decl.kind,
+            if decl.initial { " initial" } else { "" },
+            quote(&decl.name)
+        ));
+    }
+    for i in 0..names.task_count() {
+        let id = TaskId(i as u32);
+        out.push_str(&format!("task {id} {}\n", quote(&names.task_name(id))));
+    }
+    for i in 0..names.event_count() {
+        let id = EventId(i as u32);
+        out.push_str(&format!("event {id} {}\n", quote(&names.event_name(id))));
+    }
+    // Locks, objects and fields have no dedicated count accessors beyond
+    // fields; emit the ones actually used plus named declarations via probing
+    // is fragile, so we emit every id below the max referenced by an op.
+    let (mut max_lock, mut max_obj, mut max_field) = (0usize, 0usize, 0usize);
+    for op in trace.ops() {
+        match op.kind {
+            OpKind::Acquire { lock } | OpKind::Release { lock } => {
+                max_lock = max_lock.max(lock.index() + 1)
+            }
+            OpKind::Read { loc } | OpKind::Write { loc } => {
+                max_obj = max_obj.max(loc.object.index() + 1);
+                max_field = max_field.max(loc.field.index() + 1);
+            }
+            _ => {}
+        }
+    }
+    max_field = max_field.max(names.field_count());
+    for i in 0..max_lock {
+        let id = LockId(i as u32);
+        out.push_str(&format!("lock {id} {}\n", quote(&names.lock_name(id))));
+    }
+    for i in 0..max_obj {
+        let id = ObjectId(i as u32);
+        out.push_str(&format!("object {id} {}\n", quote(&names.object_name(id))));
+    }
+    for i in 0..max_field {
+        let id = FieldId(i as u32);
+        out.push_str(&format!("field {id} {}\n", quote(&names.field_name(id))));
+    }
+    for op in trace.ops() {
+        out.push_str("op ");
+        out.push_str(&op_line(op));
+        out.push('\n');
+    }
+    out
+}
+
+fn op_line(op: &Op) -> String {
+    let t = op.thread;
+    match op.kind {
+        OpKind::ThreadInit => format!("threadinit {t}"),
+        OpKind::ThreadExit => format!("threadexit {t}"),
+        OpKind::Fork { child } => format!("fork {t} {child}"),
+        OpKind::Join { child } => format!("join {t} {child}"),
+        OpKind::AttachQ => format!("attachQ {t}"),
+        OpKind::LoopOnQ => format!("loopOnQ {t}"),
+        OpKind::Post {
+            task,
+            target,
+            kind,
+            event,
+        } => {
+            let mut s = format!("post {t} {task} {target}");
+            match kind {
+                PostKind::Plain => {}
+                PostKind::Delayed(d) => s.push_str(&format!(" delay={d}")),
+                PostKind::Front => s.push_str(" front"),
+            }
+            if let Some(e) = event {
+                s.push_str(&format!(" event={e}"));
+            }
+            s
+        }
+        OpKind::Begin { task } => format!("begin {t} {task}"),
+        OpKind::End { task } => format!("end {t} {task}"),
+        OpKind::Cancel { task } => format!("cancel {t} {task}"),
+        OpKind::Acquire { lock } => format!("acquire {t} {lock}"),
+        OpKind::Release { lock } => format!("release {t} {lock}"),
+        OpKind::Read { loc } => format!("read {t} {}.{}", loc.object, loc.field),
+        OpKind::Write { loc } => format!("write {t} {}.{}", loc.object, loc.field),
+        OpKind::Enable { task } => format!("enable {t} {task}"),
+    }
+}
+
+fn parse_id(tok: &str, prefix: char, line: usize) -> Result<u32, ParseTraceError> {
+    tok.strip_prefix(prefix)
+        .and_then(|rest| rest.parse().ok())
+        .ok_or_else(|| ParseTraceError {
+            line,
+            message: format!("expected `{prefix}<n>` id, got `{tok}`"),
+        })
+}
+
+/// Parses the text format back into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input; the error carries the
+/// offending line number.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        other => {
+            return Err(ParseTraceError {
+                line: 1,
+                message: format!("missing header `{HEADER}`, got {:?}", other.map(|(_, l)| l)),
+            })
+        }
+    }
+    let mut names = Names::new();
+    let mut ops = Vec::new();
+    // Declarations must arrive in id order; track counts to check.
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseTraceError { line, message };
+        // Quoted names may contain arbitrary whitespace: split the line at
+        // the opening quote and tokenize only the head.
+        let (head, quoted) = match l.find('"') {
+            Some(q) => (&l[..q], &l[q..]),
+            None => (l, ""),
+        };
+        let mut toks = head.split_whitespace();
+        let keyword = toks.next().unwrap_or("");
+        match keyword {
+            "thread" => {
+                let _id = toks.next().ok_or_else(|| err("missing thread id".into()))?;
+                let kind_tok = toks.next().ok_or_else(|| err("missing thread kind".into()))?;
+                let kind = match kind_tok {
+                    "main" => ThreadKind::Main,
+                    "binder" => ThreadKind::Binder,
+                    "app" => ThreadKind::App,
+                    "system" => ThreadKind::System,
+                    other => return Err(err(format!("unknown thread kind `{other}`"))),
+                };
+                let initial = match toks.next() {
+                    Some("initial") => true,
+                    Some(other) => return Err(err(format!("unexpected token `{other}`"))),
+                    None => false,
+                };
+                let name = unquote(quoted.trim_end())
+                    .ok_or_else(|| err("malformed thread name".into()))?;
+                names.fresh_thread(name, kind, initial);
+            }
+            "task" | "event" | "lock" | "object" | "field" => {
+                let _id = toks.next().ok_or_else(|| err("missing id".into()))?;
+                let name = unquote(quoted.trim_end()).ok_or_else(|| err("malformed name".into()))?;
+                match keyword {
+                    "task" => {
+                        names.fresh_task(name);
+                    }
+                    "event" => {
+                        names.fresh_event(name);
+                    }
+                    "lock" => {
+                        names.fresh_lock(name);
+                    }
+                    "object" => {
+                        names.fresh_object(name);
+                    }
+                    "field" => {
+                        names.field(name);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "op" => {
+                let mnemonic = toks.next().ok_or_else(|| err("missing op mnemonic".into()))?;
+                let t = ThreadId(parse_id(
+                    toks.next().ok_or_else(|| err("missing thread".into()))?,
+                    't',
+                    line,
+                )?);
+                let kind = match mnemonic {
+                    "threadinit" => OpKind::ThreadInit,
+                    "threadexit" => OpKind::ThreadExit,
+                    "attachQ" => OpKind::AttachQ,
+                    "loopOnQ" => OpKind::LoopOnQ,
+                    "fork" | "join" => {
+                        let child = ThreadId(parse_id(
+                            toks.next().ok_or_else(|| err("missing child thread".into()))?,
+                            't',
+                            line,
+                        )?);
+                        if mnemonic == "fork" {
+                            OpKind::Fork { child }
+                        } else {
+                            OpKind::Join { child }
+                        }
+                    }
+                    "begin" | "end" | "cancel" | "enable" => {
+                        let task = TaskId(parse_id(
+                            toks.next().ok_or_else(|| err("missing task".into()))?,
+                            'p',
+                            line,
+                        )?);
+                        match mnemonic {
+                            "begin" => OpKind::Begin { task },
+                            "end" => OpKind::End { task },
+                            "cancel" => OpKind::Cancel { task },
+                            _ => OpKind::Enable { task },
+                        }
+                    }
+                    "acquire" | "release" => {
+                        let lock = LockId(parse_id(
+                            toks.next().ok_or_else(|| err("missing lock".into()))?,
+                            'l',
+                            line,
+                        )?);
+                        if mnemonic == "acquire" {
+                            OpKind::Acquire { lock }
+                        } else {
+                            OpKind::Release { lock }
+                        }
+                    }
+                    "read" | "write" => {
+                        let loc_tok = toks.next().ok_or_else(|| err("missing location".into()))?;
+                        let (obj, field) = loc_tok
+                            .split_once('.')
+                            .ok_or_else(|| err(format!("malformed location `{loc_tok}`")))?;
+                        let loc = MemLoc::new(
+                            ObjectId(parse_id(obj, 'o', line)?),
+                            FieldId(parse_id(field, 'f', line)?),
+                        );
+                        if mnemonic == "read" {
+                            OpKind::Read { loc }
+                        } else {
+                            OpKind::Write { loc }
+                        }
+                    }
+                    "post" => {
+                        let task = TaskId(parse_id(
+                            toks.next().ok_or_else(|| err("missing task".into()))?,
+                            'p',
+                            line,
+                        )?);
+                        let target = ThreadId(parse_id(
+                            toks.next().ok_or_else(|| err("missing target".into()))?,
+                            't',
+                            line,
+                        )?);
+                        let mut kind = PostKind::Plain;
+                        let mut event = None;
+                        for extra in toks.by_ref() {
+                            if extra == "front" {
+                                kind = PostKind::Front;
+                            } else if let Some(d) = extra.strip_prefix("delay=") {
+                                let d = d
+                                    .parse()
+                                    .map_err(|_| err(format!("bad delay `{extra}`")))?;
+                                kind = PostKind::Delayed(d);
+                            } else if let Some(e) = extra.strip_prefix("event=") {
+                                event = Some(EventId(parse_id(e, 'e', line)?));
+                            } else {
+                                return Err(err(format!("unknown post attribute `{extra}`")));
+                            }
+                        }
+                        OpKind::Post {
+                            task,
+                            target,
+                            kind,
+                            event,
+                        }
+                    }
+                    other => return Err(err(format!("unknown op `{other}`"))),
+                };
+                ops.push(Op::new(t, kind));
+            }
+            other => return Err(err(format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(Trace::from_parts(names, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::ThreadKind;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let binder = b.thread("binder thread", ThreadKind::Binder, true);
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let launch = b.task("LAUNCH_ACTIVITY");
+        let update = b.task("onProgressUpdate");
+        let click = b.event("click:playBtn");
+        let l = b.lock("mLock");
+        let loc = b.loc("DwFileAct-obj", "DwFileAct.isActivityDestroyed");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(binder);
+        b.post(binder, launch, main);
+        b.begin(main, launch);
+        b.write(main, loc);
+        b.fork(main, bg);
+        b.end(main, launch);
+        b.thread_init(bg);
+        b.read(bg, loc);
+        b.acquire(bg, l);
+        b.release(bg, l);
+        b.post_with(bg, update, main, PostKind::Delayed(50), Some(click));
+        b.thread_exit(bg);
+        b.join(main, bg);
+        b.begin(main, update);
+        b.end(main, update);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let text = to_text(&trace);
+        let back = from_text(&text).expect("parse back");
+        assert_eq!(back.ops(), trace.ops());
+        assert_eq!(back.names().thread_name(ThreadId(0)), "binder thread");
+        assert_eq!(back.names().task_name(TaskId(1)), "onProgressUpdate");
+        assert_eq!(back.names().event_name(EventId(0)), "click:playBtn");
+    }
+
+    #[test]
+    fn quoting_roundtrips_special_characters() {
+        for s in ["plain", "with \"quotes\"", "back\\slash", "new\nline", ""] {
+            assert_eq!(unquote(&quote(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let err = from_text("garbage\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn unknown_op_is_rejected_with_line_number() {
+        let text = format!("{HEADER}\nop frobnicate t0\n");
+        let err = from_text(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{HEADER}\n\n# a comment\nthread t0 main initial \"main\"\nop threadinit t0\n");
+        let trace = from_text(&text).expect("parse");
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn bad_post_attribute_is_rejected() {
+        let text = format!("{HEADER}\nthread t0 main initial \"m\"\ntask p0 \"a\"\nop post t0 p0 t0 bogus=1\n");
+        assert!(from_text(&text).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Identifier newtypes for the entities appearing in execution traces.
+//!
+//! Every entity in a trace — threads, asynchronous tasks, locks, events and
+//! memory locations — is referred to by a small integer id. Human-readable
+//! names live in [`crate::Names`] and are only consulted for display.
+//! Newtypes keep the different id spaces statically apart (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A thread of control (`t0`, `t1`, … in the paper's traces).
+    ThreadId,
+    "t"
+);
+id_newtype!(
+    /// One *instance* of an asynchronously posted procedure.
+    ///
+    /// The paper assumes every procedure occurs at most once per trace by
+    /// uniquely renaming occurrences; a `TaskId` is exactly that unique name.
+    TaskId,
+    "p"
+);
+id_newtype!(
+    /// A lock object.
+    LockId,
+    "l"
+);
+id_newtype!(
+    /// An environment event (a UI event or a lifecycle transition) whose
+    /// handler gets enabled and later posted.
+    EventId,
+    "e"
+);
+id_newtype!(
+    /// A field declaration (`Class.field`), shared by all objects of a class.
+    FieldId,
+    "f"
+);
+id_newtype!(
+    /// A heap object instance.
+    ObjectId,
+    "o"
+);
+
+/// A memory location: a field of a particular heap object.
+///
+/// Table 2 of the paper counts distinct *fields*, while races on the same
+/// field of different objects are reported separately; keeping both
+/// components supports both granularities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MemLoc {
+    /// The object whose field is accessed.
+    pub object: ObjectId,
+    /// The field being accessed.
+    pub field: FieldId,
+}
+
+impl MemLoc {
+    /// Creates a memory location from an object and a field.
+    pub fn new(object: ObjectId, field: FieldId) -> Self {
+        MemLoc { object, field }
+    }
+}
+
+impl fmt::Display for MemLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.object, self.field)
+    }
+}
+
+/// The role a thread plays in the Android runtime.
+///
+/// Table 2 of the paper excludes binder and other system threads from its
+/// thread counts; tagging threads with their kind lets statistics do the
+/// same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThreadKind {
+    /// The application's main (UI) thread; owns the main looper.
+    Main,
+    /// A binder thread relaying calls from the system process.
+    Binder,
+    /// A thread created by the application or the framework on its behalf.
+    #[default]
+    App,
+    /// Any other runtime-internal thread.
+    System,
+}
+
+impl ThreadKind {
+    /// Whether Table 2-style statistics count this thread.
+    pub fn counts_in_stats(self) -> bool {
+        matches!(self, ThreadKind::Main | ThreadKind::App)
+    }
+}
+
+impl fmt::Display for ThreadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreadKind::Main => "main",
+            ThreadKind::Binder => "binder",
+            ThreadKind::App => "app",
+            ThreadKind::System => "system",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(ThreadId(1).to_string(), "t1");
+        assert_eq!(TaskId(7).to_string(), "p7");
+        assert_eq!(LockId(0).to_string(), "l0");
+        assert_eq!(EventId(3).to_string(), "e3");
+        assert_eq!(MemLoc::new(ObjectId(2), FieldId(5)).to_string(), "o2.f5");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ThreadId(0) < ThreadId(1));
+        assert!(TaskId(3) > TaskId(2));
+    }
+
+    #[test]
+    fn thread_kind_stat_filter_excludes_system_threads() {
+        assert!(ThreadKind::Main.counts_in_stats());
+        assert!(ThreadKind::App.counts_in_stats());
+        assert!(!ThreadKind::Binder.counts_in_stats());
+        assert!(!ThreadKind::System.counts_in_stats());
+    }
+
+    #[test]
+    fn from_u32_roundtrips() {
+        let t: ThreadId = 9u32.into();
+        assert_eq!(t.index(), 9);
+    }
+}

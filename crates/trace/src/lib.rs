@@ -1,0 +1,57 @@
+//! Execution traces for the Android concurrency model.
+//!
+//! This crate defines the core concurrency language of *Race Detection for
+//! Android Applications* (Maiya, Kanade, Majumdar — PLDI 2014): the
+//! operations of Table 1, execution traces over them, a checker for the
+//! operational semantics of Figure 5, per-trace statistics matching Table 2,
+//! and a text serialization format.
+//!
+//! # Examples
+//!
+//! Build the beginning of the paper's Figure 3 trace and validate it:
+//!
+//! ```
+//! use droidracer_trace::{TraceBuilder, ThreadKind, TraceStats, validate};
+//!
+//! let mut b = TraceBuilder::new();
+//! let binder = b.thread("binder", ThreadKind::Binder, true);
+//! let main = b.thread("main", ThreadKind::Main, true);
+//! let launch = b.task("LAUNCH_ACTIVITY");
+//! let act = b.loc("DwFileAct-obj", "DwFileAct.isActivityDestroyed");
+//!
+//! b.thread_init(main);
+//! b.attach_q(main);
+//! b.loop_on_q(main);
+//! b.thread_init(binder);
+//! b.post(binder, launch, main);
+//! b.begin(main, launch);
+//! b.write(main, act);
+//! b.end(main, launch);
+//!
+//! let trace = b.finish();
+//! validate(&trace)?;
+//! let stats = TraceStats::of(&trace);
+//! assert_eq!(stats.async_tasks, 1);
+//! # Ok::<(), droidracer_trace::ValidateError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod format;
+mod ids;
+mod names;
+mod op;
+mod stats;
+mod trace;
+mod validate;
+
+pub use builder::TraceBuilder;
+pub use format::{from_text, to_text, ParseTraceError};
+pub use ids::{EventId, FieldId, LockId, MemLoc, ObjectId, TaskId, ThreadId, ThreadKind};
+pub use names::{Names, ThreadDecl};
+pub use op::{queue_must_precede, Op, OpKind, PostKind};
+pub use stats::TraceStats;
+pub use trace::{TaskInfo, Trace, TraceIndex};
+pub use validate::{validate, ValidateError, ValidateErrorKind};

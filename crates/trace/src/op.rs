@@ -1,0 +1,323 @@
+//! Operations of the core concurrency language (Table 1 of the paper).
+
+use std::fmt;
+
+use crate::ids::{EventId, LockId, MemLoc, TaskId, ThreadId};
+
+/// How a `post` entered the target thread's task queue.
+///
+/// Plain posts follow Android's FIFO semantics. Delayed posts (§4.2 of the
+/// paper) carry a timeout and run when it expires. Front posts override FIFO
+/// by jumping to the head of the queue; the paper defers them to future work,
+/// this reproduction implements them as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PostKind {
+    /// Ordinary FIFO post.
+    #[default]
+    Plain,
+    /// `postDelayed`-style post with a timeout in milliseconds of virtual
+    /// time.
+    Delayed(u64),
+    /// `postAtFrontOfQueue`-style post (extension beyond the paper).
+    Front,
+}
+
+impl PostKind {
+    /// The timeout of a delayed post, if any.
+    pub fn delay(self) -> Option<u64> {
+        match self {
+            PostKind::Delayed(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a delayed post.
+    pub fn is_delayed(self) -> bool {
+        matches!(self, PostKind::Delayed(_))
+    }
+}
+
+/// Whether a queue entry posted with kind `earlier` (sitting at a smaller
+/// queue position) must execute before one posted with kind `later`, under
+/// the §4.2-refined FIFO semantics:
+///
+/// * two non-delayed posts keep their FIFO order;
+/// * a non-delayed post always runs before a later delayed one;
+/// * a delayed post may be overtaken by a later non-delayed one;
+/// * two delayed posts order by timeout (`δ_earlier ≤ δ_later`).
+///
+/// Front-of-queue posts (the extension beyond the paper) participate through
+/// their queue *position* — this predicate only refines by delay.
+pub fn queue_must_precede(earlier: PostKind, later: PostKind) -> bool {
+    match (earlier.delay(), later.delay()) {
+        (None, None) => true,
+        (None, Some(_)) => true,
+        (Some(_), None) => false,
+        (Some(d1), Some(d2)) => d1 <= d2,
+    }
+}
+
+/// An operation of the core language, minus the executing thread.
+///
+/// The executing thread is stored alongside in [`Op`]; the kinds here mirror
+/// Table 1, plus `cancel` which the paper handles by erasing the
+/// corresponding post from the trace (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Start executing the current thread.
+    ThreadInit,
+    /// Complete executing the current thread.
+    ThreadExit,
+    /// Create thread `child`.
+    Fork {
+        /// The newly created thread.
+        child: ThreadId,
+    },
+    /// Consume the completed thread `child`.
+    Join {
+        /// The thread being joined.
+        child: ThreadId,
+    },
+    /// Attach a task queue to the current thread.
+    AttachQ,
+    /// Begin executing procedures from the current thread's queue.
+    LoopOnQ,
+    /// Post task `task` asynchronously to thread `target`.
+    Post {
+        /// The posted task instance.
+        task: TaskId,
+        /// The thread whose queue receives the task.
+        target: ThreadId,
+        /// FIFO, delayed or front-of-queue.
+        kind: PostKind,
+        /// The environment event whose handler this post schedules, if any.
+        ///
+        /// Used by race classification (§4.3): the *co-enabled* category
+        /// inspects the most recent posts for environmental events.
+        event: Option<EventId>,
+    },
+    /// Start executing the posted task `task`.
+    Begin {
+        /// The task being dequeued and run.
+        task: TaskId,
+    },
+    /// Finish executing the posted task `task`.
+    End {
+        /// The task that ran to completion.
+        task: TaskId,
+    },
+    /// Remove a not-yet-begun `task` from its target queue (§4.2 handles
+    /// cancellation by deleting the corresponding post from the trace).
+    Cancel {
+        /// The task whose pending post is revoked.
+        task: TaskId,
+    },
+    /// Acquire lock `lock`.
+    Acquire {
+        /// The lock being acquired.
+        lock: LockId,
+    },
+    /// Release lock `lock`.
+    Release {
+        /// The lock being released.
+        lock: LockId,
+    },
+    /// Read memory location `loc`.
+    Read {
+        /// The location read.
+        loc: MemLoc,
+    },
+    /// Write memory location `loc`.
+    Write {
+        /// The location written.
+        loc: MemLoc,
+    },
+    /// Enable posting of task `task` (models the runtime environment; see
+    /// §2.4 and §4.2 of the paper).
+    Enable {
+        /// The task instance whose posting becomes possible.
+        task: TaskId,
+    },
+}
+
+impl OpKind {
+    /// The memory location accessed by this operation, if it is a read or
+    /// write.
+    pub fn accessed_loc(&self) -> Option<MemLoc> {
+        match *self {
+            OpKind::Read { loc } | OpKind::Write { loc } => Some(loc),
+            _ => None,
+        }
+    }
+
+    /// Whether this operation writes memory.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write { .. })
+    }
+
+    /// Whether this is a memory access (read or write).
+    pub fn is_access(&self) -> bool {
+        matches!(self, OpKind::Read { .. } | OpKind::Write { .. })
+    }
+
+    /// Whether this operation synchronizes (anything that can carry a
+    /// happens-before edge, i.e. everything except plain memory accesses).
+    ///
+    /// The graph optimization of §6 merges contiguous accesses separated by
+    /// no synchronization operation; this predicate defines "synchronization"
+    /// for that purpose.
+    pub fn is_sync(&self) -> bool {
+        !self.is_access()
+    }
+
+    /// A short mnemonic matching the paper's notation.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::ThreadInit => "threadinit",
+            OpKind::ThreadExit => "threadexit",
+            OpKind::Fork { .. } => "fork",
+            OpKind::Join { .. } => "join",
+            OpKind::AttachQ => "attachQ",
+            OpKind::LoopOnQ => "loopOnQ",
+            OpKind::Post { .. } => "post",
+            OpKind::Begin { .. } => "begin",
+            OpKind::End { .. } => "end",
+            OpKind::Cancel { .. } => "cancel",
+            OpKind::Acquire { .. } => "acquire",
+            OpKind::Release { .. } => "release",
+            OpKind::Read { .. } => "read",
+            OpKind::Write { .. } => "write",
+            OpKind::Enable { .. } => "enable",
+        }
+    }
+}
+
+/// One operation of an execution trace: an [`OpKind`] plus the thread that
+/// executes it (always the first parameter of the paper's op-codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// What the operation does.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Creates an operation executed by `thread`.
+    pub fn new(thread: ThreadId, kind: OpKind) -> Self {
+        Op { thread, kind }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.thread;
+        match self.kind {
+            OpKind::ThreadInit => write!(f, "threadinit({t})"),
+            OpKind::ThreadExit => write!(f, "threadexit({t})"),
+            OpKind::Fork { child } => write!(f, "fork({t},{child})"),
+            OpKind::Join { child } => write!(f, "join({t},{child})"),
+            OpKind::AttachQ => write!(f, "attachQ({t})"),
+            OpKind::LoopOnQ => write!(f, "loopOnQ({t})"),
+            OpKind::Post {
+                task,
+                target,
+                kind,
+                event,
+            } => {
+                write!(f, "post({t},{task},{target}")?;
+                match kind {
+                    PostKind::Plain => {}
+                    PostKind::Delayed(d) => write!(f, ",delay={d}")?,
+                    PostKind::Front => write!(f, ",front")?,
+                }
+                if let Some(e) = event {
+                    write!(f, ",event={e}")?;
+                }
+                write!(f, ")")
+            }
+            OpKind::Begin { task } => write!(f, "begin({t},{task})"),
+            OpKind::End { task } => write!(f, "end({t},{task})"),
+            OpKind::Cancel { task } => write!(f, "cancel({t},{task})"),
+            OpKind::Acquire { lock } => write!(f, "acquire({t},{lock})"),
+            OpKind::Release { lock } => write!(f, "release({t},{lock})"),
+            OpKind::Read { loc } => write!(f, "read({t},{loc})"),
+            OpKind::Write { loc } => write!(f, "write({t},{loc})"),
+            OpKind::Enable { task } => write!(f, "enable({t},{task})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FieldId, ObjectId};
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let op = Op::new(ThreadId(0), OpKind::ThreadInit);
+        assert_eq!(op.to_string(), "threadinit(t0)");
+        let op = Op::new(
+            ThreadId(2),
+            OpKind::Post {
+                task: TaskId(4),
+                target: ThreadId(1),
+                kind: PostKind::Plain,
+                event: None,
+            },
+        );
+        assert_eq!(op.to_string(), "post(t2,p4,t1)");
+        let op = Op::new(
+            ThreadId(1),
+            OpKind::Read {
+                loc: MemLoc::new(ObjectId(0), FieldId(3)),
+            },
+        );
+        assert_eq!(op.to_string(), "read(t1,o0.f3)");
+    }
+
+    #[test]
+    fn delayed_and_front_posts_render_their_kind() {
+        let op = Op::new(
+            ThreadId(0),
+            OpKind::Post {
+                task: TaskId(1),
+                target: ThreadId(0),
+                kind: PostKind::Delayed(250),
+                event: Some(EventId(2)),
+            },
+        );
+        assert_eq!(op.to_string(), "post(t0,p1,t0,delay=250,event=e2)");
+        let op = Op::new(
+            ThreadId(0),
+            OpKind::Post {
+                task: TaskId(1),
+                target: ThreadId(0),
+                kind: PostKind::Front,
+                event: None,
+            },
+        );
+        assert_eq!(op.to_string(), "post(t0,p1,t0,front)");
+    }
+
+    #[test]
+    fn access_predicates() {
+        let loc = MemLoc::new(ObjectId(1), FieldId(1));
+        assert!(OpKind::Write { loc }.is_write());
+        assert!(OpKind::Write { loc }.is_access());
+        assert!(!OpKind::Read { loc }.is_write());
+        assert!(OpKind::Read { loc }.is_access());
+        assert!(!OpKind::Read { loc }.is_sync());
+        assert!(OpKind::AttachQ.is_sync());
+        assert_eq!(OpKind::Read { loc }.accessed_loc(), Some(loc));
+        assert_eq!(OpKind::LoopOnQ.accessed_loc(), None);
+    }
+
+    #[test]
+    fn post_kind_delay_accessor() {
+        assert_eq!(PostKind::Delayed(7).delay(), Some(7));
+        assert_eq!(PostKind::Plain.delay(), None);
+        assert!(PostKind::Delayed(0).is_delayed());
+        assert!(!PostKind::Front.is_delayed());
+    }
+}

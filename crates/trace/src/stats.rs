@@ -1,0 +1,154 @@
+//! Trace statistics in the shape of Table 2 of the paper.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::ThreadId;
+use crate::op::OpKind;
+use crate::trace::Trace;
+
+/// The per-application statistics reported in Table 2: trace length, distinct
+/// fields accessed, thread counts split by queue ownership, and the number of
+/// asynchronous tasks executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Number of core-language operations in the trace.
+    pub trace_length: usize,
+    /// Distinct *fields* accessed (a field accessed through several objects
+    /// counts once, matching the paper's "Fields" column).
+    pub fields: usize,
+    /// Application threads without task queues (binder/system threads are
+    /// excluded, as in Table 2).
+    pub threads_without_queues: usize,
+    /// Application threads with task queues (includes the main thread).
+    pub threads_with_queues: usize,
+    /// Number of asynchronous tasks that began executing.
+    pub async_tasks: usize,
+    /// Distinct memory locations (object, field) accessed; reported in prose
+    /// ("the applications accessed thousands of memory locations").
+    pub memory_locations: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn of(trace: &Trace) -> Self {
+        let mut fields = HashSet::new();
+        let mut locations = HashSet::new();
+        let mut seen_threads: HashSet<ThreadId> = HashSet::new();
+        let mut queued_threads: HashSet<ThreadId> = HashSet::new();
+        let mut async_tasks = 0usize;
+        for op in trace.ops() {
+            seen_threads.insert(op.thread);
+            match op.kind {
+                OpKind::Read { loc } | OpKind::Write { loc } => {
+                    fields.insert(loc.field);
+                    locations.insert(loc);
+                }
+                OpKind::AttachQ => {
+                    queued_threads.insert(op.thread);
+                }
+                OpKind::Begin { .. } => async_tasks += 1,
+                OpKind::Fork { child } => {
+                    seen_threads.insert(child);
+                }
+                _ => {}
+            }
+        }
+        let counts = |t: &ThreadId| {
+            trace
+                .names()
+                .thread(*t)
+                .map(|d| d.kind.counts_in_stats())
+                .unwrap_or(true)
+        };
+        let with_q = queued_threads.iter().filter(|t| counts(t)).count();
+        let all = seen_threads.iter().filter(|t| counts(t)).count();
+        TraceStats {
+            trace_length: trace.len(),
+            fields: fields.len(),
+            threads_without_queues: all.saturating_sub(with_q),
+            threads_with_queues: with_q,
+            async_tasks,
+            memory_locations: locations.len(),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "len={} fields={} threads(w/o Q)={} threads(w/ Q)={} async={} locs={}",
+            self.trace_length,
+            self.fields,
+            self.threads_without_queues,
+            self.threads_with_queues,
+            self.async_tasks,
+            self.memory_locations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::ThreadKind;
+
+    #[test]
+    fn stats_count_fields_once_across_objects() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let o1 = b.names().clone(); // silence unused warnings pattern
+        drop(o1);
+        let obj1 = b.loc("obj1", "C.f");
+        let obj2 = b.loc("obj2", "C.f");
+        b.thread_init(main);
+        b.write(main, obj1);
+        b.write(main, obj2);
+        let stats = TraceStats::of(&b.finish());
+        assert_eq!(stats.fields, 1);
+        assert_eq!(stats.memory_locations, 2);
+        assert_eq!(stats.trace_length, 3);
+    }
+
+    #[test]
+    fn stats_split_threads_by_queue_and_exclude_binder() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(binder);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        let stats = TraceStats::of(&b.finish());
+        assert_eq!(stats.threads_with_queues, 1); // main
+        assert_eq!(stats.threads_without_queues, 1); // bg; binder excluded
+    }
+
+    #[test]
+    fn stats_count_begun_tasks() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let a = b.task("A");
+        let c = b.task("B");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.post(main, a, main);
+        b.post(main, c, main); // posted but never begun
+        b.begin(main, a);
+        b.end(main, a);
+        let stats = TraceStats::of(&b.finish());
+        assert_eq!(stats.async_tasks, 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = TraceStats::default();
+        assert!(!stats.to_string().is_empty());
+    }
+}

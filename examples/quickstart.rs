@@ -1,0 +1,42 @@
+//! Quickstart: build a tiny app model, drive one UI event, detect a race.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use droidracer::core::Analysis;
+use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
+use droidracer::sim::{run, RandomScheduler, SimConfig};
+use droidracer::trace::{validate, TraceStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the app: onCreate forks a loader thread that initializes
+    //    shared state; a button reads that state when clicked. Nothing
+    //    orders the two accesses.
+    let mut b = AppBuilder::new("Quickstart");
+    let act = b.activity("MainActivity");
+    let state = b.var("MainActivity-obj", "loadedState");
+    let loader = b.worker("loader", vec![Stmt::Write(state)]);
+    b.on_create(act, vec![Stmt::ForkWorker(loader)]);
+    let show = b.button(act, "show", vec![Stmt::Read(state)]);
+    let app = b.finish();
+
+    // 2. Compile with a UI event sequence and execute on the simulator.
+    let events = [UiEvent::Widget(show, UiEventKind::Click)];
+    let compiled = compile(&app, &events)?;
+    let result = run(
+        &compiled.program,
+        &mut RandomScheduler::new(42),
+        &SimConfig::default(),
+    )?;
+    assert!(result.completed);
+
+    // 3. Every simulated trace satisfies the paper's operational semantics.
+    validate(&result.trace)?;
+    println!("trace ({}):", TraceStats::of(&result.trace));
+    println!("{}", result.trace);
+
+    // 4. Compute the happens-before relation and report races.
+    let analysis = Analysis::run(&result.trace);
+    println!("{}", analysis.render());
+    assert_eq!(analysis.races().len(), 1, "the loader race is found");
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! The `droidracer` command-line tool: offline race detection over trace
+//! files in the text format of `droidracer_trace`.
+//!
+//! ```text
+//! droidracer analyze <trace-file> [--mode MODE] [--no-merge] [--all]
+//!                                  [--explain] [--dot FILE] [--coverage]
+//! droidracer validate <trace-file>
+//! droidracer stats <trace-file>
+//! droidracer corpus <app-name> [--out FILE]   # dump a corpus trace
+//! droidracer explore <app-name> [depth]       # systematic UI exploration
+//! ```
+//!
+//! Modes: full (default), mt-only, async-only, naive-combined,
+//! events-as-threads.
+
+use std::process::ExitCode;
+
+use droidracer::apps;
+use droidracer::core::{Analysis, HbConfig, HbMode};
+use droidracer::trace::{from_text, to_text, validate, Trace, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  droidracer analyze <trace-file> [--mode full|mt-only|async-only|naive-combined|events-as-threads] [--no-merge] [--all]\n  droidracer validate <trace-file>\n  droidracer stats <trace-file>\n  droidracer corpus <app-name> [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_text(&text).map_err(|e| e.to_string())
+}
+
+fn parse_mode(s: &str) -> Option<HbMode> {
+    Some(match s {
+        "full" | "droidracer" => HbMode::Full,
+        "mt-only" => HbMode::MultithreadedOnly,
+        "async-only" => HbMode::AsyncOnly,
+        "naive-combined" => HbMode::NaiveCombined,
+        "events-as-threads" => HbMode::EventsAsThreads,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "analyze" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut mode = HbMode::Full;
+            let mut merge = true;
+            let mut show_all = false;
+            let mut explain_races = false;
+            let mut coverage = false;
+            let mut dot_file: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--mode" => {
+                        let Some(m) = args.get(i + 1).and_then(|s| parse_mode(s)) else {
+                            return usage();
+                        };
+                        mode = m;
+                        i += 2;
+                    }
+                    "--no-merge" => {
+                        merge = false;
+                        i += 1;
+                    }
+                    "--all" => {
+                        show_all = true;
+                        i += 1;
+                    }
+                    "--explain" => {
+                        explain_races = true;
+                        i += 1;
+                    }
+                    "--coverage" => {
+                        coverage = true;
+                        i += 1;
+                    }
+                    "--dot" => {
+                        let Some(f) = args.get(i + 1) else { return usage() };
+                        dot_file = Some(f.clone());
+                        i += 2;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let trace = match load(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut config = HbConfig::for_mode(mode);
+            config.merge_accesses = merge;
+            let analysis = Analysis::run_with(&trace, config);
+            println!(
+                "mode={mode} nodes={} ({:.1}% of {} ops), {} fixpoint round(s)",
+                analysis.hb().graph().node_count(),
+                analysis.hb().graph().reduction_ratio() * 100.0,
+                analysis.trace().len(),
+                analysis.hb().rounds(),
+            );
+            print!("{}", analysis.render());
+            if show_all {
+                println!("all block-pair races: {}", analysis.races().len());
+            }
+            if explain_races {
+                for cr in analysis.representatives() {
+                    print!("{}", droidracer::core::explain(&analysis, &cr.race));
+                }
+            }
+            if coverage {
+                let report = droidracer::core::race_coverage(&analysis);
+                println!(
+                    "race coverage: {} root cause(s), {} covered report(s)",
+                    report.roots.len(),
+                    report.covered.len()
+                );
+                let names = analysis.trace().names();
+                for (k, root) in report.roots.iter().enumerate() {
+                    println!("  root #{k}: [{}] {}", root.category, names.loc_name(root.race.loc));
+                }
+                for (cr, by) in &report.covered {
+                    let attribution = by
+                        .map(|k| format!("root #{k}"))
+                        .unwrap_or_else(|| "a coverage chain".to_owned());
+                    println!(
+                        "  covered: [{}] {} — by {attribution}",
+                        cr.category,
+                        names.loc_name(cr.race.loc)
+                    );
+                }
+            }
+            if let Some(file) = dot_file {
+                let dot = droidracer::core::to_dot(&analysis);
+                if let Err(e) = std::fs::write(&file, dot) {
+                    eprintln!("cannot write {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("happens-before graph written to {file}");
+            }
+            if analysis.races().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "validate" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(path).map(|t| validate(&t)) {
+                Ok(Ok(())) => {
+                    println!("ok: trace satisfies the concurrency semantics");
+                    ExitCode::SUCCESS
+                }
+                Ok(Err(e)) => {
+                    eprintln!("invalid: {e}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(path) {
+                Ok(t) => {
+                    println!("{}", TraceStats::of(&t));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "corpus" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let entry = apps::corpus()
+                .into_iter()
+                .find(|e| e.name.eq_ignore_ascii_case(name));
+            let Some(entry) = entry else {
+                eprintln!(
+                    "unknown app `{name}`; available: {}",
+                    apps::corpus()
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let trace = match entry.generate_trace() {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let text = to_text(&trace);
+            match args.get(2).map(String::as_str) {
+                Some("--out") => {
+                    let Some(file) = args.get(3) else { return usage() };
+                    if let Err(e) = std::fs::write(file, text) {
+                        eprintln!("cannot write {file}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {} ops to {file}", trace.len());
+                }
+                None => print!("{text}"),
+                _ => return usage(),
+            }
+            ExitCode::SUCCESS
+        }
+        "explore" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let depth: usize = args
+                .get(2)
+                .and_then(|d| d.parse().ok())
+                .unwrap_or(2);
+            let entry = apps::corpus()
+                .into_iter()
+                .find(|e| e.name.eq_ignore_ascii_case(name));
+            let Some(entry) = entry else {
+                eprintln!("unknown app `{name}`");
+                return ExitCode::FAILURE;
+            };
+            match entry.explore(depth, 64) {
+                Ok(summary) => {
+                    println!(
+                        "{}: {} tests (depth {depth}), {} manifested races; {} racy locations; union {}",
+                        entry.name,
+                        summary.tests,
+                        summary.racy_tests,
+                        summary.racy_locations,
+                        summary.union
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,57 @@
+//! # droidracer
+//!
+//! A Rust reproduction of *Race Detection for Android Applications*
+//! (Maiya, Kanade, Majumdar — PLDI 2014): the Android concurrency
+//! semantics, the combined happens-before relation for multi-threaded
+//! event-driven programs, and the DroidRacer race detection pipeline
+//! (UI Explorer → Trace Generator → Race Detector).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`trace`] — the core concurrency language (Table 1), execution traces,
+//!   the Figure 5 semantics checker, trace statistics and serialization;
+//! * [`sim`] — a deterministic interpreter for the concurrency semantics
+//!   with pluggable schedulers and exact replay;
+//! * [`framework`] — the Android runtime model: activity lifecycles
+//!   (Figure 8), `ActivityManagerService`/binder, `AsyncTask`,
+//!   `Handler`/`Looper`, services, receivers and the UI;
+//! * [`explorer`] — systematic depth-first UI event exploration with a
+//!   replay database;
+//! * [`core`] — the paper's contribution: the `≺st ∪ ≺mt` happens-before
+//!   relation (Figures 6–7), graph-based race detection with node merging,
+//!   race classification, and the baseline relations of §4.1;
+//! * [`apps`] — the synthetic 15-application corpus of the evaluation with
+//!   planted, ground-truthed races.
+//!
+//! # Quick start
+//!
+//! ```
+//! use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
+//! use droidracer::sim::{run, RandomScheduler, SimConfig};
+//! use droidracer::core::Analysis;
+//!
+//! // An activity whose background loader races with a button handler.
+//! let mut b = AppBuilder::new("Quickstart");
+//! let act = b.activity("MainActivity");
+//! let state = b.var("MainActivity-obj", "loadedState");
+//! let loader = b.worker("loader", vec![Stmt::Write(state)]);
+//! b.on_create(act, vec![Stmt::ForkWorker(loader)]);
+//! let show = b.button(act, "show", vec![Stmt::Read(state)]);
+//!
+//! let compiled = compile(&b.finish(), &[UiEvent::Widget(show, UiEventKind::Click)])?;
+//! let result = run(&compiled.program, &mut RandomScheduler::new(7), &SimConfig::default())?;
+//! let analysis = Analysis::run(&result.trace);
+//! assert_eq!(analysis.races().len(), 1);
+//! println!("{}", analysis.render());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use droidracer_apps as apps;
+pub use droidracer_core as core;
+pub use droidracer_explorer as explorer;
+pub use droidracer_framework as framework;
+pub use droidracer_sim as sim;
+pub use droidracer_trace as trace;
