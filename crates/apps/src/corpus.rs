@@ -6,7 +6,7 @@ use std::fmt;
 
 use std::collections::BTreeSet;
 
-use droidracer_core::{Analysis, CategoryCounts, RaceCategory};
+use droidracer_core::{par_map, Analysis, CategoryCounts, RaceCategory};
 use droidracer_explorer::{enumerate_sequences, ExplorerConfig};
 use droidracer_framework::{compile, App, CompileError, UiEvent};
 use droidracer_sim::{run, RandomScheduler, SimConfig, SimError};
@@ -145,6 +145,21 @@ impl CorpusEntry {
     }
 }
 
+/// Runs [`CorpusEntry::analyze`] for every entry on `threads` workers,
+/// returning reports in corpus order.
+///
+/// Each entry's pipeline (compile → simulate → strip → analyze) touches
+/// only its own data, so the fan-out is safe; the merge is deterministic —
+/// the result at position `i` is always entry `i`'s report, identical to
+/// what the sequential loop produces (see `droidracer_core::par`).
+/// `threads <= 1` degenerates to the sequential loop itself.
+pub fn analyze_corpus_parallel(
+    entries: &[CorpusEntry],
+    threads: usize,
+) -> Vec<Result<EntryReport, CorpusError>> {
+    par_map(entries, threads, CorpusEntry::analyze)
+}
+
 /// Summary of a full exploration of one app: every UI event sequence up to
 /// the depth bound executed and analyzed — the paper's per-application
 /// testing campaign ("for each application, DroidRacer found tests which
@@ -171,31 +186,61 @@ impl CorpusEntry {
     ///
     /// Returns [`CorpusError`] if any sequence fails to compile or simulate.
     pub fn explore(&self, depth: usize, max_sequences: usize) -> Result<ExplorationSummary, CorpusError> {
+        self.explore_with_threads(depth, max_sequences, 1)
+    }
+
+    /// Like [`CorpusEntry::explore`], fanning the per-sequence pipeline out
+    /// over `threads` workers. Each sequence keeps the seed the sequential
+    /// loop would assign it (its enumeration index), and the summary is
+    /// folded in enumeration order, so the result is identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if any sequence fails to compile or simulate.
+    pub fn explore_with_threads(
+        &self,
+        depth: usize,
+        max_sequences: usize,
+        threads: usize,
+    ) -> Result<ExplorationSummary, CorpusError> {
         let config = ExplorerConfig {
             max_depth: depth,
             max_sequences,
             seed: self.seed,
             max_steps: 600_000,
         };
+        let sequences: Vec<(usize, Vec<UiEvent>)> = enumerate_sequences(&self.app, &config)
+            .into_iter()
+            .enumerate()
+            .collect();
+        type TestOutcome = Result<(bool, Vec<(MemLoc, RaceCategory)>), CorpusError>;
+        let per_test = par_map(&sequences, threads, |(i, events)| -> TestOutcome {
+            let compiled = compile(&self.app, events)?;
+            let result = run(
+                &compiled.program,
+                &mut RandomScheduler::new(self.seed.wrapping_add(*i as u64)),
+                &SimConfig { max_steps: 600_000 },
+            )?;
+            let trace = strip_untracked(&result.trace);
+            let analysis = Analysis::run(&trace);
+            let pairs: Vec<(MemLoc, RaceCategory)> = analysis
+                .representatives()
+                .iter()
+                .map(|cr| (cr.race.loc, cr.category))
+                .collect();
+            Ok((!analysis.races().is_empty(), pairs))
+        });
         let mut tests = 0;
         let mut racy_tests = 0;
         let mut seen: BTreeSet<(MemLoc, RaceCategory)> = BTreeSet::new();
-        for events in enumerate_sequences(&self.app, &config) {
-            let compiled = compile(&self.app, &events)?;
-            let result = run(
-                &compiled.program,
-                &mut RandomScheduler::new(self.seed.wrapping_add(tests as u64)),
-                &SimConfig { max_steps: 600_000 },
-            )?;
+        for result in per_test {
+            let (racy, pairs) = result?;
             tests += 1;
-            let trace = strip_untracked(&result.trace);
-            let analysis = Analysis::run(&trace);
-            if !analysis.races().is_empty() {
+            if racy {
                 racy_tests += 1;
             }
-            for cr in analysis.representatives() {
-                seen.insert((cr.race.loc, cr.category));
-            }
+            seen.extend(pairs);
         }
         let mut union = CategoryCounts::default();
         let mut locs = BTreeSet::new();
@@ -248,7 +293,7 @@ impl EntryReport {
                 let field = names.field_name(cr.race.loc.field);
                 let planted = truth.get(&field)?;
                 (planted.category != cr.category)
-                    .then(|| (field, planted.category, cr.category))
+                    .then_some((field, planted.category, cr.category))
             })
             .collect()
     }

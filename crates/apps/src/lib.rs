@@ -40,7 +40,9 @@ pub use catalog::{
     messenger, music_player, my_tracks, open_source_corpus, open_sudoku, remind_me, sgtpuzzles,
     tomdroid_notes, twitter,
 };
-pub use corpus::{CorpusEntry, CorpusError, EntryReport, ExplorationSummary, PaperRow};
+pub use corpus::{
+    analyze_corpus_parallel, CorpusEntry, CorpusError, EntryReport, ExplorationSummary, PaperRow,
+};
 pub use droidracer_core::RaceCategory;
 pub use motifs::{GroundTruth, MotifBuilder, RaceTruth};
 pub use strip::{strip_untracked, UNTRACKED_PREFIX};

@@ -10,8 +10,8 @@
 use std::time::Instant;
 
 use droidracer_apps::corpus;
-use droidracer_bench::TextTable;
-use droidracer_core::{Analysis, HappensBefore, HbConfig};
+use droidracer_bench::{engine_stats_table, TextTable};
+use droidracer_core::{analyze_all, default_threads, par_map, HappensBefore, HbConfig};
 use droidracer_trace::Trace;
 
 /// Rough memory footprint of the closed relation: two N×N bit matrices.
@@ -36,17 +36,21 @@ fn main() {
     println!("Performance of the Race Detector (§6 prose)");
     println!("paper: nodes reduced to 1.4%–24.8% of trace length (avg 11.1%), ≤20 MB\n");
     let mut ratios = Vec::new();
+    // Generate and analyze the corpus on the parallel pipeline; results
+    // arrive in corpus order. Per-entry analysis time comes from the
+    // analysis' own stage timing, so it stays meaningful under fan-out.
+    let entries = corpus();
+    let generated = par_map(&entries, default_threads(), |entry| entry.generate_trace());
     let mut traces: Vec<(&'static str, Trace)> = Vec::new();
-    for entry in corpus() {
-        match entry.generate_trace() {
+    for (entry, trace) in entries.iter().zip(generated) {
+        match trace {
             Ok(t) => traces.push((entry.name, t)),
             Err(e) => eprintln!("{}: {e}", entry.name),
         }
     }
-    for (name, trace) in &traces {
-        let start = Instant::now();
-        let analysis = Analysis::run(trace);
-        let elapsed = start.elapsed();
+    let plain_traces: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let analyses = analyze_all(&plain_traces, default_threads());
+    for ((name, trace), analysis) in traces.iter().zip(&analyses) {
         let graph = analysis.hb().graph();
         let ratio = graph.reduction_ratio();
         ratios.push(ratio);
@@ -56,11 +60,22 @@ fn main() {
             graph.node_count().to_string(),
             format!("{:.1}%", ratio * 100.0),
             analysis.hb().rounds().to_string(),
-            format!("{:.0} ms", elapsed.as_secs_f64() * 1000.0),
+            format!("{:.0} ms", analysis.timing().total().as_secs_f64() * 1000.0),
             mb(relation_bytes(graph.node_count())),
         ]);
     }
     println!("{}", table.render());
+
+    println!("Happens-before engine hot-path counters:");
+    let stats_rows: Vec<(&str, _)> = traces
+        .iter()
+        .zip(&analyses)
+        .map(|((name, _), analysis)| (*name, analysis.hb().stats()))
+        .collect();
+    println!(
+        "{}",
+        engine_stats_table(stats_rows.iter().map(|&(n, s)| (n, s))).render()
+    );
     let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
     let (lo, hi) = ratios.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &r| {
         (lo.min(r), hi.max(r))

@@ -1,0 +1,179 @@
+//! Experiment E8 — throughput of the parallel detection pipeline.
+//!
+//! Analyzes the full corpus trace set sequentially and then through
+//! `droidracer_core::par` at 1/2/4/8 worker threads, verifying on the fly
+//! that every parallel run produces exactly the sequential reports (the
+//! determinism contract), and emits the measured traces/sec into
+//! `BENCH_pipeline.json` alongside the per-rule engine counters.
+//!
+//! Run with `cargo run --release -p droidracer-bench --bin pipeline`.
+//! The JSON lands in the current directory.
+
+use std::time::Instant;
+
+use droidracer_apps::corpus;
+use droidracer_bench::{engine_stats_table, TextTable};
+use droidracer_core::{analyze_all, default_threads, par_map, Analysis, EngineStats};
+use droidracer_trace::Trace;
+
+/// One measured sweep point.
+struct Sample {
+    threads: usize,
+    seconds: f64,
+    traces_per_sec: f64,
+    speedup: f64,
+}
+
+fn measure(traces: &[Trace], threads: usize, repeats: usize) -> (f64, Vec<Analysis>) {
+    // Warm-up once, then keep the best of `repeats` (least-noise estimate).
+    let mut best = f64::MAX;
+    let mut analyses = analyze_all(traces, threads);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        analyses = analyze_all(traces, threads);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, analyses)
+}
+
+fn main() {
+    let entries = corpus();
+    println!("Parallel detection pipeline sweep ({} apps)", entries.len());
+    println!(
+        "machine: {} hardware thread(s) available\n",
+        default_threads()
+    );
+
+    let generated = par_map(&entries, default_threads(), |e| e.generate_trace());
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut traces: Vec<Trace> = Vec::new();
+    for (entry, result) in entries.iter().zip(generated) {
+        match result {
+            Ok(t) => {
+                names.push(entry.name);
+                traces.push(t);
+            }
+            Err(e) => eprintln!("{}: {e}", entry.name),
+        }
+    }
+
+    let repeats = 3;
+    // Sequential baseline: the plain per-trace loop, no pool at all.
+    let mut baseline = f64::MAX;
+    let mut reference: Vec<Analysis> = traces.iter().map(Analysis::run).collect();
+    for _ in 0..repeats {
+        let start = Instant::now();
+        reference = traces.iter().map(Analysis::run).collect();
+        baseline = baseline.min(start.elapsed().as_secs_f64());
+    }
+
+    let mut samples = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (seconds, analyses) = measure(&traces, threads, repeats);
+        // Determinism check: every thread count reproduces the sequential
+        // reports exactly.
+        assert_eq!(analyses.len(), reference.len());
+        for (p, s) in analyses.iter().zip(&reference) {
+            assert_eq!(p.races(), s.races(), "{threads}-thread run diverged");
+            assert_eq!(p.counts(), s.counts(), "{threads}-thread run diverged");
+            assert_eq!(
+                p.hb().stats(),
+                s.hb().stats(),
+                "{threads}-thread run diverged"
+            );
+        }
+        samples.push(Sample {
+            threads,
+            seconds,
+            traces_per_sec: traces.len() as f64 / seconds,
+            speedup: baseline / seconds,
+        });
+    }
+
+    let mut table = TextTable::new(["Threads", "Time", "Traces/sec", "Speedup"]);
+    table.row([
+        "seq".to_owned(),
+        format!("{:.3} s", baseline),
+        format!("{:.2}", traces.len() as f64 / baseline),
+        "1.00x".to_owned(),
+    ]);
+    table.rule();
+    for s in &samples {
+        table.row([
+            s.threads.to_string(),
+            format!("{:.3} s", s.seconds),
+            format!("{:.2}", s.traces_per_sec),
+            format!("{:.2}x", s.speedup),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(all parallel runs verified bit-identical to the sequential reports)\n");
+
+    println!("Happens-before engine hot-path counters:");
+    let stats_rows: Vec<(&str, &EngineStats)> = names
+        .iter()
+        .zip(&reference)
+        .map(|(n, a)| (*n, a.hb().stats()))
+        .collect();
+    println!(
+        "{}",
+        engine_stats_table(stats_rows.iter().map(|&(n, s)| (n, s))).render()
+    );
+
+    let json = render_json(&traces, baseline, &samples, &stats_rows);
+    let path = "BENCH_pipeline.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (no serde in the dependency-free pipeline).
+fn render_json(
+    traces: &[Trace],
+    baseline: f64,
+    samples: &[Sample],
+    stats: &[(&str, &EngineStats)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"machine_threads\": {},\n  \"corpus_traces\": {},\n  \"total_ops\": {},\n",
+        default_threads(),
+        traces.len(),
+        traces.iter().map(Trace::len).sum::<usize>(),
+    ));
+    out.push_str(&format!(
+        "  \"sequential\": {{ \"seconds\": {:.6}, \"traces_per_sec\": {:.3} }},\n",
+        baseline,
+        traces.len() as f64 / baseline
+    ));
+    out.push_str("  \"parallel\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"traces_per_sec\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            s.threads,
+            s.seconds,
+            s.traces_per_sec,
+            s.speedup,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"engine_counters\": [\n");
+    for (i, (name, s)) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"base_edges\": {}, \"fifo\": {}, \"nopre\": {}, \
+             \"trans_st\": {}, \"trans_mt\": {}, \"rounds\": {}, \"word_ops\": {} }}{}\n",
+            name,
+            s.base_edges,
+            s.fifo_fired,
+            s.nopre_fired,
+            s.trans_st_edges,
+            s.trans_mt_edges,
+            s.rounds,
+            s.word_ops,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

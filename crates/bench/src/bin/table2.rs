@@ -7,6 +7,7 @@
 
 use droidracer_apps::corpus;
 use droidracer_bench::{vs, TextTable};
+use droidracer_core::{default_threads, par_map};
 use droidracer_trace::TraceStats;
 
 fn main() {
@@ -20,13 +21,16 @@ fn main() {
     ]);
     println!("Table 2: statistics about applications and traces");
     println!("(measured on the synthetic corpus; paper-reported numbers in parentheses)\n");
+    // Trace generation is per-entry work: fan it out, render in corpus order.
+    let entries = corpus();
+    let traces = par_map(&entries, default_threads(), |entry| entry.generate_trace());
     let mut was_open_source = true;
-    for entry in corpus() {
+    for (entry, trace) in entries.iter().zip(traces) {
         if was_open_source && !entry.open_source {
             table.rule();
             was_open_source = false;
         }
-        let trace = match entry.generate_trace() {
+        let trace = match trace {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{}: {e}", entry.name);

@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --release -p droidracer-bench --bin table3`.
 
-use droidracer_apps::{corpus, RaceCategory};
+use droidracer_apps::{analyze_corpus_parallel, corpus, RaceCategory};
 use droidracer_bench::{xy, TextTable};
-use droidracer_core::CategoryCounts;
+use droidracer_core::{default_threads, CategoryCounts};
 
 fn main() {
     let mut table = TextTable::new([
@@ -25,12 +25,16 @@ fn main() {
     let mut total_open = CategoryCounts::default();
     let mut total_open_true = CategoryCounts::default();
     let mut total_prop = CategoryCounts::default();
-    for entry in corpus() {
+    // Analyze the whole corpus in parallel; reports come back in corpus
+    // order, so the rendered table is identical to the sequential one.
+    let entries = corpus();
+    let reports = analyze_corpus_parallel(&entries, default_threads());
+    for (entry, report) in entries.iter().zip(reports) {
         if was_open_source && !entry.open_source {
             table.rule();
             was_open_source = false;
         }
-        let report = match entry.analyze() {
+        let report = match report {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: {e}", entry.name);

@@ -9,6 +9,8 @@
 
 use std::fmt::Display;
 
+use droidracer_core::EngineStats;
+
 /// A simple fixed-width text table.
 #[derive(Debug, Default)]
 pub struct TextTable {
@@ -72,6 +74,60 @@ impl TextTable {
     }
 }
 
+/// Builds the hot-path counter table for a set of analyzed traces: one row
+/// per trace showing where the happens-before engine spent its effort
+/// (base edges, per-rule firings, fixpoint rounds, bit-matrix word-ops).
+pub fn engine_stats_table<'a>(
+    rows: impl IntoIterator<Item = (&'a str, &'a EngineStats)>,
+) -> TextTable {
+    let mut table = TextTable::new([
+        "Application",
+        "Base edges",
+        "FIFO",
+        "NOPRE",
+        "TRANS-ST",
+        "TRANS-MT",
+        "Rounds",
+        "Word-ops",
+    ]);
+    let mut total = EngineStats::default();
+    let mut n = 0usize;
+    for (name, s) in rows {
+        table.row([
+            name.to_owned(),
+            s.base_edges.to_string(),
+            s.fifo_fired.to_string(),
+            s.nopre_fired.to_string(),
+            s.trans_st_edges.to_string(),
+            s.trans_mt_edges.to_string(),
+            s.rounds.to_string(),
+            s.word_ops.to_string(),
+        ]);
+        total.base_edges += s.base_edges;
+        total.fifo_fired += s.fifo_fired;
+        total.nopre_fired += s.nopre_fired;
+        total.trans_st_edges += s.trans_st_edges;
+        total.trans_mt_edges += s.trans_mt_edges;
+        total.rounds += s.rounds;
+        total.word_ops += s.word_ops;
+        n += 1;
+    }
+    if n > 1 {
+        table.rule();
+        table.row([
+            "TOTAL".to_owned(),
+            total.base_edges.to_string(),
+            total.fifo_fired.to_string(),
+            total.nopre_fired.to_string(),
+            total.trans_st_edges.to_string(),
+            total.trans_mt_edges.to_string(),
+            total.rounds.to_string(),
+            total.word_ops.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Formats `measured` next to the paper's number as `measured (paper)`.
 pub fn vs(measured: impl Display, paper: impl Display) -> String {
     format!("{measured} ({paper})")
@@ -105,5 +161,23 @@ mod tests {
     fn helpers_format() {
         assert_eq!(vs(10, 12), "10 (12)");
         assert_eq!(xy(17, 4), "17(4)");
+    }
+
+    #[test]
+    fn engine_stats_table_adds_total_row() {
+        let a = EngineStats {
+            base_edges: 3,
+            fifo_fired: 1,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            base_edges: 2,
+            nopre_fired: 4,
+            ..Default::default()
+        };
+        let rendered = engine_stats_table([("x", &a), ("y", &b)]).render();
+        let total = rendered.lines().last().expect("has rows");
+        assert!(total.starts_with("TOTAL"), "got: {rendered}");
+        assert!(total.contains('5'), "summed base edges: {rendered}");
     }
 }

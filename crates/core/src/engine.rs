@@ -27,12 +27,48 @@ use crate::bitmatrix::{BitIter, BitMatrix};
 use crate::graph::{HbGraph, NodeId};
 use crate::rules::{HbConfig, RuleSet};
 
+/// Hot-path counters recorded while computing one happens-before relation.
+///
+/// Every field is deterministic for a given trace and configuration: the
+/// engine itself is sequential and iteration orders are fixed, so two runs
+/// over the same input produce identical stats. The counters separate the
+/// *base* edges (instantaneous rules: program order, POST, ENABLE, FORK,
+/// JOIN, LOCK, ATTACH-Q) from edges derived by the two transitivity rules
+/// and by the generator rules FIFO and NOPRE — i.e. where the fixpoint
+/// actually spends its effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Edges added by the instantaneous base rules (and assumed edges).
+    pub base_edges: usize,
+    /// FIFO firings that produced a new `end(A) ≺ begin(B)` edge.
+    pub fifo_fired: usize,
+    /// NOPRE firings that produced a new `end(A) ≺ begin(B)` edge.
+    pub nopre_fired: usize,
+    /// Same-thread edges derived by TRANS-ST (or, in the naive unrestricted
+    /// mode, all edges derived by the plain transitive closure).
+    pub trans_st_edges: usize,
+    /// Cross-thread edges derived by TRANS-MT (zero in the naive mode).
+    pub trans_mt_edges: usize,
+    /// Fixpoint rounds (saturate + generators) until convergence.
+    pub rounds: usize,
+    /// 64-bit words processed by bit-matrix row operations during
+    /// saturation — the engine's dominant unit of work.
+    pub word_ops: u64,
+}
+
+impl EngineStats {
+    /// Total edges derived by non-base rules (transitivity + generators).
+    pub fn derived_edges(&self) -> usize {
+        self.trans_st_edges + self.trans_mt_edges + self.fifo_fired + self.nopre_fired
+    }
+}
+
 /// The computed happens-before relation for one trace.
 #[derive(Debug, Clone)]
 pub struct HappensBefore {
     graph: HbGraph,
     relation: Relation,
-    rounds: usize,
+    stats: EngineStats,
     config: HbConfig,
 }
 
@@ -89,11 +125,13 @@ impl HappensBefore {
             let (a, b) = (graph.node_of(i), graph.node_of(j));
             builder.add_edge(a, b);
         }
-        let rounds = builder.run_fixpoint();
+        let (base_st, base_mt) = builder.relation_sizes();
+        builder.stats.base_edges = base_st + base_mt;
+        builder.run_fixpoint();
         HappensBefore {
             relation: builder.relation,
+            stats: builder.stats,
             graph,
-            rounds,
             config,
         }
     }
@@ -110,7 +148,12 @@ impl HappensBefore {
 
     /// Number of fixpoint rounds until convergence.
     pub fn rounds(&self) -> usize {
-        self.rounds
+        self.stats.rounds
+    }
+
+    /// Hot-path counters recorded while computing this relation.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     /// Whether node `a` happens before node `b`.
@@ -176,6 +219,7 @@ struct EngineState<'a> {
     candidates: Vec<TaskPairCandidate>,
     /// Nodes of each task, used by NOPRE.
     task_nodes: HashMap<TaskId, Vec<NodeId>>,
+    stats: EngineStats,
 }
 
 impl<'a> EngineState<'a> {
@@ -203,6 +247,15 @@ impl<'a> EngineState<'a> {
             relation,
             candidates: Vec::new(),
             task_nodes,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Current `(st, mt)` edge counts (`(plain, 0)` in the naive mode).
+    fn relation_sizes(&self) -> (usize, usize) {
+        match &self.relation {
+            Relation::Restricted { st, mt } => (st.count_ones(), mt.count_ones()),
+            Relation::Plain(r) => (r.count_ones(), 0),
         }
     }
 
@@ -294,7 +347,8 @@ impl<'a> EngineState<'a> {
 
     /// ENABLE-ST/MT, POST-ST/MT, ATTACH-Q-MT.
     fn add_task_edges(&mut self) {
-        let tasks: Vec<(Option<usize>, Option<usize>, Option<usize>, Option<ThreadId>)> = self
+        type TaskEdgeSites = (Option<usize>, Option<usize>, Option<usize>, Option<ThreadId>);
+        let tasks: Vec<TaskEdgeSites> = self
             .index
             .tasks()
             .map(|(_, info)| (info.enable, info.post, info.begin, info.target))
@@ -438,15 +492,19 @@ impl<'a> EngineState<'a> {
         }
     }
 
-    /// Runs generator + transitivity to fixpoint; returns the round count.
-    fn run_fixpoint(&mut self) -> usize {
-        let mut rounds = 0;
+    /// Runs generator + transitivity to fixpoint, recording per-rule
+    /// counters as it goes.
+    fn run_fixpoint(&mut self) {
         loop {
-            rounds += 1;
+            self.stats.rounds += 1;
+            let (st0, mt0) = self.relation_sizes();
             let mut changed = self.saturate();
+            let (st1, mt1) = self.relation_sizes();
+            self.stats.trans_st_edges += st1 - st0;
+            self.stats.trans_mt_edges += mt1 - mt0;
             changed |= self.fire_generators();
             if !changed {
-                return rounds;
+                return;
             }
         }
     }
@@ -464,23 +522,31 @@ impl<'a> EngineState<'a> {
             if self.ordered(cand.end_node, cand.begin_node) {
                 continue; // already derived
             }
-            let mut fire = false;
+            let mut fifo_fire = false;
+            let mut nopre_fire = false;
             if self.rules.fifo {
                 if let (Some((p1, k1)), Some((p2, k2))) = (cand.post1, cand.post2) {
                     if fifo_delay_ok(k1, k2, self.rules.delayed_fifo) && self.ordered(p1, p2) {
-                        fire = true;
+                        fifo_fire = true;
                     }
                 }
             }
-            if !fire && self.rules.nopre {
+            if !fifo_fire && self.rules.nopre {
                 if let Some((p2, _)) = cand.post2 {
                     if let Some(nodes) = self.task_nodes.get(&cand.first_task) {
-                        fire = nodes.iter().any(|&k| self.ordered(k, p2));
+                        nopre_fire = nodes.iter().any(|&k| self.ordered(k, p2));
                     }
                 }
             }
-            if fire {
-                changed |= self.add_edge(cand.end_node, cand.begin_node);
+            if fifo_fire || nopre_fire {
+                if self.add_edge(cand.end_node, cand.begin_node) {
+                    changed = true;
+                    if fifo_fire {
+                        self.stats.fifo_fired += 1;
+                    } else {
+                        self.stats.nopre_fired += 1;
+                    }
+                }
             } else {
                 remaining.push(cand);
             }
@@ -496,6 +562,7 @@ impl<'a> EngineState<'a> {
             return false;
         }
         let threads: Vec<ThreadId> = self.graph.nodes().iter().map(|node| node.thread).collect();
+        let row_words = n.div_ceil(64) as u64;
         match &mut self.relation {
             Relation::Plain(r) => {
                 let mut changed = false;
@@ -505,6 +572,7 @@ impl<'a> EngineState<'a> {
                         let succs: Vec<usize> = r.iter_row(i).collect();
                         for j in succs {
                             pass_changed |= r.or_row_into(j, i);
+                            self.stats.word_ops += row_words;
                         }
                     }
                     changed |= pass_changed;
@@ -524,6 +592,7 @@ impl<'a> EngineState<'a> {
                     let succs: Vec<usize> = st.iter_row(i).collect();
                     for j in succs {
                         changed |= st.or_row_into(j, i);
+                        self.stats.word_ops += row_words;
                     }
                     // TRANS-MT: compose the combined relation; only bits on
                     // threads other than thread(i) may be recorded. Repeat
@@ -534,8 +603,8 @@ impl<'a> EngineState<'a> {
                         .thread_mask(threads[i])
                         .expect("every node's thread has a mask");
                     loop {
-                        for w in 0..words {
-                            full[w] = st.row(i)[w] | mt.row(i)[w];
+                        for (w, f) in full.iter_mut().enumerate() {
+                            *f = st.row(i)[w] | mt.row(i)[w];
                         }
                         cand.copy_from_slice(&full);
                         for j in BitIter::new(&full) {
@@ -543,10 +612,12 @@ impl<'a> EngineState<'a> {
                             for w in 0..words {
                                 cand[w] |= sj[w] | mj[w];
                             }
+                            self.stats.word_ops += row_words;
                         }
                         for (c, m) in cand.iter_mut().zip(mask.words()) {
                             *c &= !*m;
                         }
+                        self.stats.word_ops += 2 * row_words;
                         if mt.or_words_into(&cand, i) {
                             changed = true;
                         } else {
@@ -660,7 +731,7 @@ mod tests {
         let trace = b.finish();
         let hb = hb(&trace);
         assert!(hb.ordered(3, 6));
-        assert!(hb.concurrent(0, 3) == false, "fork chain orders 0 before 3");
+        assert!(!hb.concurrent(0, 3), "fork chain orders 0 before 3");
     }
 
     #[test]
@@ -1106,5 +1177,102 @@ mod tests {
         let hb = HappensBefore::compute(&trace, HbConfig::new());
         assert_eq!(hb.graph().node_count(), 0);
         assert_eq!(hb.ordered_pairs(), 0);
+        // One (empty) round always runs; no edges, no word-ops.
+        assert_eq!(
+            *hb.stats(),
+            EngineStats {
+                rounds: 1,
+                ..EngineStats::default()
+            }
+        );
+    }
+
+    /// Hand-derived counter expectations on a small queue trace. Binder
+    /// posts two tasks to main; every edge of the computation is derivable
+    /// on paper:
+    ///
+    /// * base (14): NO-Q-PO on main `0→1, 1→2, 2→{6,7,8,9}` and on binder
+    ///   `3→4, 4→5`; ASYNC-PO `6→7, 8→9`; POST `4→6, 5→8`; ATTACH-Q-MT
+    ///   `1→4, 1→5`;
+    /// * round 1 TRANS-ST (10): `3→5`, `1→{6,7,8,9}`, `0→{2,6,7,8,9}`;
+    /// * round 1 TRANS-MT (10): `5→9`, `4→{7,8,9}`, `3→{6,7,8,9}`,
+    ///   `0→{4,5}`;
+    /// * round 1 FIFO (1): posts 4 ≺ 5 fire `end(A)=7 ≺ begin(B)=8`;
+    /// * round 2 TRANS-ST (3): `7→9, 6→8, 6→9`; round 3 changes nothing.
+    #[test]
+    fn stats_match_hand_derived_counts() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.thread_init(binder); // 3
+        b.post(binder, t1, main); // 4
+        b.post(binder, t2, main); // 5
+        b.begin(main, t1); // 6
+        b.end(main, t1); // 7
+        b.begin(main, t2); // 8
+        b.end(main, t2); // 9
+        let trace = b.finish();
+        let hb = hb(&trace);
+        let s = hb.stats();
+        assert_eq!(s.base_edges, 14);
+        assert_eq!(s.fifo_fired, 1);
+        assert_eq!(s.nopre_fired, 0);
+        assert_eq!(s.trans_st_edges, 13);
+        assert_eq!(s.trans_mt_edges, 10);
+        assert_eq!(s.rounds, 3);
+        assert!(s.word_ops > 0, "saturation touched the bit matrices");
+        // The counters partition the closed relation exactly.
+        assert_eq!(hb.ordered_pairs(), s.base_edges + s.derived_edges());
+    }
+
+    /// NOPRE firing is counted separately from FIFO: a delayed first post
+    /// blocks the FIFO premise (δ-refinement), but the second task is
+    /// posted *from inside* the first, so NOPRE orders them.
+    #[test]
+    fn stats_count_nopre_separately() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        b.thread_init(main); // 0
+        b.attach_q(main); // 1
+        b.loop_on_q(main); // 2
+        b.post_delayed(main, t1, main, 100); // 3
+        b.begin(main, t1); // 4
+        b.post(main, t2, main); // 5 (inside task A)
+        b.end(main, t1); // 6
+        b.begin(main, t2); // 7
+        b.end(main, t2); // 8
+        let trace = b.finish();
+        let hb = hb(&trace);
+        let s = hb.stats();
+        assert_eq!(s.fifo_fired, 0, "Delayed→Plain blocks FIFO");
+        assert_eq!(s.nopre_fired, 1);
+        assert!(hb.ordered(6, 7), "NOPRE edge end(A) ≺ begin(B)");
+        assert_eq!(hb.ordered_pairs(), s.base_edges + s.derived_edges());
+    }
+
+    /// The counters are deterministic: recomputing the same trace under the
+    /// same configuration yields bit-identical stats.
+    #[test]
+    fn stats_are_deterministic() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.write(main, loc);
+        b.thread_init(bg);
+        b.read(bg, loc);
+        let trace = b.finish();
+        let a = hb(&trace);
+        let b2 = hb(&trace);
+        assert_eq!(a.stats(), b2.stats());
     }
 }

@@ -77,11 +77,11 @@ pub fn detect(trace: &Trace) -> Vec<VcRace> {
     let mut locs: HashMap<MemLoc, LocState> = HashMap::new();
     let mut flagged: HashMap<MemLoc, VcRace> = HashMap::new();
 
-    fn clock_of<'a>(
-        clocks: &'a mut HashMap<ThreadId, VectorClock>,
+    fn clock_of(
+        clocks: &mut HashMap<ThreadId, VectorClock>,
         n: usize,
         t: ThreadId,
-    ) -> &'a mut VectorClock {
+    ) -> &mut VectorClock {
         clocks.entry(t).or_insert_with(|| {
             let mut c = VectorClock::new(n);
             c.tick(t);

@@ -64,6 +64,7 @@ mod engine;
 mod explain;
 pub mod fasttrack;
 mod graph;
+pub mod par;
 mod race;
 mod report;
 mod rules;
@@ -72,8 +73,9 @@ pub mod vc;
 pub use classify::{classify, RaceCategory};
 pub use coverage::{race_coverage, CoverageReport};
 pub use explain::{explain, to_dot};
-pub use engine::HappensBefore;
+pub use engine::{EngineStats, HappensBefore};
 pub use graph::{HbGraph, Node, NodeId};
+pub use par::{analyze_all, analyze_all_with, default_threads, par_map};
 pub use race::{detect, find_races, Race, RaceKind};
-pub use report::{Analysis, CategoryCounts, ClassifiedRace};
+pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
 pub use rules::{HbConfig, HbMode, RuleSet};

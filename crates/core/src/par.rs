@@ -1,0 +1,193 @@
+//! Dependency-free parallel fan-out with deterministic, input-order merge.
+//!
+//! DroidRacer's detection phase is offline and embarrassingly parallel
+//! across traces: each [`Analysis`](crate::Analysis) touches only its own
+//! trace, so a batch of traces can be analyzed on a pool of worker threads
+//! with no shared mutable state. The only real hazard of parallelizing an
+//! analysis pipeline is *nondeterministic output* — results arriving in
+//! completion order instead of submission order. This module rules that
+//! out structurally.
+//!
+//! # Determinism contract
+//!
+//! For any `items`, any pure `f`, and any thread count `n ≥ 0`:
+//!
+//! ```text
+//! par_map(&items, n, f) == items.iter().map(f).collect()
+//! ```
+//!
+//! — element for element, in input order. Workers claim items through a
+//! single atomic counter (work stealing by index), compute `f` on their
+//! claimed item, and write the result into that item's dedicated output
+//! slot. Scheduling decides only *who* computes each result, never *where*
+//! it lands or *what* it is. Wall-clock timings embedded in results (e.g.
+//! [`AnalysisTiming`](crate::AnalysisTiming)) are the one intentional
+//! exception: they vary run to run and are excluded from report equality.
+//!
+//! The pool is built on [`std::thread::scope`], so `f` and the items only
+//! need to outlive the call, not `'static`, and a panic in any worker
+//! propagates to the caller after the scope joins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use droidracer_trace::Trace;
+
+use crate::report::Analysis;
+use crate::rules::HbConfig;
+
+/// A sensible worker count for this machine: the available hardware
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on `threads` workers, returning results in
+/// input order (see the module documentation for the contract).
+///
+/// `threads ≤ 1` runs inline on the caller's thread — the sequential path
+/// and the parallel path are the same code shape, so equivalence tests can
+/// compare them directly. Worker panics propagate.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    // Collected (index, result) pairs; each worker drains its local batch
+    // into this under one short lock at exit.
+    let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                gathered
+                    .lock()
+                    .expect("a worker panicked while holding the gather lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = gathered
+        .into_inner()
+        .expect("a worker panicked while holding the gather lock");
+    debug_assert_eq!(pairs.len(), items.len(), "every item produced a result");
+    // Deterministic merge: place each result back at its input index. The
+    // indices are a permutation of 0..len, so sorting restores input order
+    // exactly regardless of which worker computed what.
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Analyzes a batch of traces in parallel with the paper's full
+/// configuration, preserving input order.
+pub fn analyze_all(traces: &[Trace], threads: usize) -> Vec<Analysis> {
+    analyze_all_with(traces, threads, HbConfig::new())
+}
+
+/// Analyzes a batch of traces in parallel under an explicit configuration,
+/// preserving input order.
+pub fn analyze_all_with(traces: &[Trace], threads: usize, config: HbConfig) -> Vec<Analysis> {
+    par_map(traces, threads, |trace| Analysis::run_with(trace, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let got = par_map(&items, threads, |x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&empty, 4, |x| *x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_uses_more_workers_than_items_safely() {
+        let items = [1u32, 2];
+        assert_eq!(par_map(&items, 16, |x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn results_land_at_input_positions_not_completion_order() {
+        // Make early items slow so completion order inverts input order.
+        let items: Vec<usize> = (0..16).collect();
+        let got = par_map(&items, 4, |&i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 2
+        });
+        assert_eq!(got, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items = [0u32, 1, 2, 3];
+        let _ = par_map(&items, 2, |&x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn analyze_all_agrees_with_sequential_analysis() {
+        use droidracer_trace::{ThreadKind, TraceBuilder};
+        let mut traces = Vec::new();
+        for k in 0..6 {
+            let mut b = TraceBuilder::new();
+            let main = b.thread("main", ThreadKind::Main, true);
+            let bg = b.thread("bg", ThreadKind::App, false);
+            let loc = b.loc("obj", "C.state");
+            b.thread_init(main);
+            b.fork(main, bg);
+            b.thread_init(bg);
+            for _ in 0..=k {
+                b.write(bg, loc);
+            }
+            b.read(main, loc);
+            traces.push(b.finish());
+        }
+        let sequential: Vec<Analysis> = traces.iter().map(Analysis::run).collect();
+        for threads in [1, 2, 8] {
+            let parallel = analyze_all(&traces, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.races(), s.races(), "threads={threads}");
+                assert_eq!(p.counts(), s.counts(), "threads={threads}");
+                assert_eq!(p.hb().stats(), s.hb().stats(), "threads={threads}");
+                assert_eq!(p.render(), s.render(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use droidracer_trace::{MemLoc, Trace};
 
@@ -10,6 +11,30 @@ use crate::classify::{classify, RaceCategory};
 use crate::engine::HappensBefore;
 use crate::race::{detect, Race};
 use crate::rules::{HbConfig, HbMode};
+
+/// Wall-clock time spent in each stage of one [`Analysis`] run.
+///
+/// Timing is *observability only*: it is the single non-deterministic part
+/// of an analysis and is deliberately excluded from equality, reports, and
+/// the parallel pipeline's determinism contract (see `par`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisTiming {
+    /// Stripping cancelled posts and building the trace index.
+    pub prepare: Duration,
+    /// Happens-before graph construction plus the fixpoint closure.
+    pub happens_before: Duration,
+    /// Race detection over unordered conflicting block pairs.
+    pub detect: Duration,
+    /// Race classification (§4.3 categories).
+    pub classify: Duration,
+}
+
+impl AnalysisTiming {
+    /// Total wall-clock time across all stages.
+    pub fn total(&self) -> Duration {
+        self.prepare + self.happens_before + self.detect + self.classify
+    }
+}
 
 /// A race together with its §4.3 category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +72,7 @@ pub struct Analysis {
     trace: Trace,
     hb: HappensBefore,
     races: Vec<ClassifiedRace>,
+    timing: AnalysisTiming,
 }
 
 impl Analysis {
@@ -64,17 +90,35 @@ impl Analysis {
     /// stripped first (§4.2); the race indices refer to the stripped trace,
     /// available as [`Analysis::trace`].
     pub fn run_with(trace: &Trace, config: HbConfig) -> Self {
+        let mut timing = AnalysisTiming::default();
+        let start = Instant::now();
         let trace = trace.without_cancelled();
         let index = trace.index();
+        timing.prepare = start.elapsed();
+
+        let start = Instant::now();
         let hb = HappensBefore::compute_with_index(&trace, &index, config);
-        let races = detect(&trace, &hb)
+        timing.happens_before = start.elapsed();
+
+        let start = Instant::now();
+        let raw = detect(&trace, &hb);
+        timing.detect = start.elapsed();
+
+        let start = Instant::now();
+        let races = raw
             .into_iter()
             .map(|race| ClassifiedRace {
                 category: classify(&trace, &index, &hb, &race),
                 race,
             })
             .collect();
-        Analysis { trace, hb, races }
+        timing.classify = start.elapsed();
+        Analysis {
+            trace,
+            hb,
+            races,
+            timing,
+        }
     }
 
     /// The analyzed trace (after cancellation stripping).
@@ -85,6 +129,12 @@ impl Analysis {
     /// The happens-before relation.
     pub fn hb(&self) -> &HappensBefore {
         &self.hb
+    }
+
+    /// Per-stage wall-clock timing of this run (observability only; never
+    /// part of report equality).
+    pub fn timing(&self) -> &AnalysisTiming {
+        &self.timing
     }
 
     /// All classified races (one per unordered conflicting block pair).

@@ -112,10 +112,33 @@ pub struct Campaign {
 /// Returns the first compile/simulation failure; individual incomplete runs
 /// (cut off or blocked) are recorded, not errors.
 pub fn run_campaign(app: &App, config: &ExplorerConfig) -> Result<Campaign, ExploreError> {
+    run_campaign_parallel(app, config, 1)
+}
+
+/// Like [`run_campaign`], executing the sequences on `threads` workers.
+///
+/// Every sequence runs under the same scheduler seed it gets in the
+/// sequential campaign, and the database is recorded in DFS enumeration
+/// order after the fan-out joins, so the resulting [`Campaign`] — entry
+/// ids, decision vectors, traces — is identical for every thread count.
+///
+/// # Errors
+///
+/// Returns the first compile/simulation failure (in enumeration order, not
+/// completion order); individual incomplete runs are recorded, not errors.
+pub fn run_campaign_parallel(
+    app: &App,
+    config: &ExplorerConfig,
+    threads: usize,
+) -> Result<Campaign, ExploreError> {
+    let sequences = enumerate_sequences(app, config);
+    let results = droidracer_core::par_map(&sequences, threads, |events| {
+        run_sequence(app, events, config)
+    });
     let mut db = ReplayDb::new();
     let mut runs = Vec::new();
-    for events in enumerate_sequences(app, config) {
-        let result = run_sequence(app, &events, config)?;
+    for (events, result) in sequences.into_iter().zip(results) {
+        let result = result?;
         db.record(events.clone(), config.seed, &result);
         runs.push((events, result));
     }

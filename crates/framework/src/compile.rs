@@ -198,7 +198,7 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
     for (a_idx, act) in app.activities.iter().enumerate() {
         let a = ActivityId(a_idx);
         let cb = &act.callbacks;
-        let lifecycle_enables = vec![
+        let lifecycle_enables = [
             Action::Enable(refs.lifecycle[&(a, LifecycleTask::Pause)]),
             Action::Enable(refs.lifecycle[&(a, LifecycleTask::Destroy)]),
         ];

@@ -159,14 +159,14 @@ impl UiState {
                     .find(|(k, _)| *k == kind)
                     .map(|(_, b)| b.clone())
                     .unwrap_or_default();
-                next.apply_stmts(app, &body, 0);
+                next.apply_stmts(&body, 0);
             }
         }
         Some(next)
     }
 
     /// Tracks activity-stack effects of statements (startActivity / finish).
-    fn apply_stmts(&mut self, app: &App, stmts: &[Stmt], depth: usize) {
+    fn apply_stmts(&mut self, stmts: &[Stmt], depth: usize) {
         if depth > 8 {
             return;
         }
@@ -176,7 +176,7 @@ impl UiState {
                 Stmt::FinishActivity => {
                     self.stack.pop();
                 }
-                Stmt::Synchronized(_, inner) => self.apply_stmts(app, inner, depth + 1),
+                Stmt::Synchronized(_, inner) => self.apply_stmts(inner, depth + 1),
                 _ => {}
             }
         }

@@ -81,7 +81,6 @@ proptest! {
         for i in 0..3 {
             let _ = b.loc(format!("obj{i}"), "F.f0");
         }
-        let mut b = b;
         for i in 1..4 {
             // Remaining fields referenced by MemLoc field ids 1..4.
             let _ = b.field_of(ObjectId(0), format!("F.f{i}"));
@@ -122,7 +121,6 @@ proptest! {
             b.event(format!("e{i}"));
             let _ = b.loc(format!("o{i}"), format!("C.f{i}"));
         }
-        let mut b = b;
         for i in 0..4 {
             let _ = b.field_of(ObjectId(0), format!("C.g{i}"));
         }

@@ -25,7 +25,7 @@ use droidracer::sim::{
     explore_schedules, explore_schedules_reduced, Action, ExploreConfig, Program, ProgramBuilder,
     ThreadSpec,
 };
-use droidracer::trace::{validate, MemLoc, OpKind, PostKind, ThreadKind, Trace};
+use droidracer::trace::{validate, MemLoc, PostKind, ThreadKind, Trace};
 
 /// An access site for oracle purposes: thread-name base + task-name base +
 /// access kind.

@@ -1,0 +1,753 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, integer-range / tuple / `&str`
+//!   (regex) strategies, [`Just`], `prop_oneof!`, `any::<T>()`;
+//! * [`collection::vec`], [`option::of`], [`string::string_regex`];
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Generation is purely random (no shrinking); streams are deterministic —
+//! seeded from the test function's name — so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+/// Deterministic 64-bit generator (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (built by `prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A `&str` is a regex strategy generating matching `String`s.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let node = regex::parse(self).expect("string strategy regex parses");
+        regex::generate(&node, rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// An inclusive-exclusive size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` a quarter of the time, `Some` otherwise.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option`s of values from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// String strategies from regular expressions.
+pub mod string {
+    use super::{regex, Strategy, TestRng};
+
+    /// Error for an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    /// A strategy generating strings matching a regex (subset: literals,
+    /// `.`, classes, groups, alternation, `? * +` and `{m,n}` repetition).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        node: regex::Node,
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        regex::parse(pattern)
+            .map(|node| RegexGeneratorStrategy { node })
+            .map_err(Error)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            regex::generate(&self.node, rng)
+        }
+    }
+}
+
+/// A tiny regex-subset parser and generator backing the string strategies.
+pub mod regex {
+    use super::TestRng;
+
+    /// Parsed regex node.
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        /// Concatenation.
+        Seq(Vec<Node>),
+        /// Alternation (`a|b`).
+        Alt(Vec<Node>),
+        /// A literal character.
+        Literal(char),
+        /// `.` — any printable ASCII character.
+        Any,
+        /// A character class, expanded to its members.
+        Class(Vec<char>),
+        /// Bounded repetition of the inner node.
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7E;
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    /// Parses `pattern` into a [`Node`].
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let mut p = Parser {
+            chars: pattern.chars().peekable(),
+        };
+        let node = p.alt()?;
+        if p.chars.peek().is_some() {
+            return Err(format!("trailing input in regex {pattern:?}"));
+        }
+        Ok(node)
+    }
+
+    impl Parser<'_> {
+        fn alt(&mut self) -> Result<Node, String> {
+            let mut arms = vec![self.seq()?];
+            while self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                arms.push(self.seq()?);
+            }
+            Ok(if arms.len() == 1 {
+                arms.pop().expect("one arm")
+            } else {
+                Node::Alt(arms)
+            })
+        }
+
+        fn seq(&mut self) -> Result<Node, String> {
+            let mut items = Vec::new();
+            while let Some(&c) = self.chars.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let atom = self.atom()?;
+                items.push(self.quantified(atom)?);
+            }
+            Ok(if items.len() == 1 {
+                items.pop().expect("one item")
+            } else {
+                Node::Seq(items)
+            })
+        }
+
+        fn atom(&mut self) -> Result<Node, String> {
+            match self.chars.next() {
+                Some('(') => {
+                    let inner = self.alt()?;
+                    match self.chars.next() {
+                        Some(')') => Ok(inner),
+                        _ => Err("unclosed group".into()),
+                    }
+                }
+                Some('[') => self.class(),
+                Some('.') => Ok(Node::Any),
+                Some('\\') => match self.chars.next() {
+                    Some(c) => Ok(Node::Literal(unescape(c))),
+                    None => Err("dangling escape".into()),
+                },
+                Some(c) if c == '?' || c == '*' || c == '+' || c == '{' => {
+                    Err(format!("quantifier {c:?} without atom"))
+                }
+                Some(c) => Ok(Node::Literal(c)),
+                None => Err("unexpected end of pattern".into()),
+            }
+        }
+
+        fn class(&mut self) -> Result<Node, String> {
+            let mut members = Vec::new();
+            let negated = if self.chars.peek() == Some(&'^') {
+                self.chars.next();
+                true
+            } else {
+                false
+            };
+            loop {
+                match self.chars.next() {
+                    Some(']') => break,
+                    Some('\\') => match self.chars.next() {
+                        Some(c) => members.push(unescape(c)),
+                        None => return Err("dangling escape in class".into()),
+                    },
+                    Some(c) => {
+                        // A range `a-z` (a `-` at the end is a literal).
+                        if self.chars.peek() == Some(&'-') {
+                            let mut look = self.chars.clone();
+                            look.next();
+                            if look.peek().is_some_and(|&e| e != ']') {
+                                self.chars.next();
+                                let end = self.chars.next().expect("checked above");
+                                if c > end {
+                                    return Err(format!("bad class range {c}-{end}"));
+                                }
+                                members.extend(c..=end);
+                                continue;
+                            }
+                        }
+                        members.push(c);
+                    }
+                    None => return Err("unclosed character class".into()),
+                }
+            }
+            if negated {
+                members = PRINTABLE
+                    .map(|b| b as char)
+                    .filter(|c| !members.contains(c))
+                    .collect();
+            }
+            if members.is_empty() {
+                return Err("empty character class".into());
+            }
+            Ok(Node::Class(members))
+        }
+
+        fn quantified(&mut self, atom: Node) -> Result<Node, String> {
+            let node = match self.chars.peek() {
+                Some('?') => {
+                    self.chars.next();
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let mut digits = String::new();
+                    while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        digits.push(self.chars.next().expect("digit"));
+                    }
+                    let min: usize = digits.parse().map_err(|_| "bad repetition count")?;
+                    let max = match self.chars.next() {
+                        Some('}') => min,
+                        Some(',') => {
+                            let mut digits = String::new();
+                            while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                                digits.push(self.chars.next().expect("digit"));
+                            }
+                            let max = if digits.is_empty() {
+                                min + 8
+                            } else {
+                                digits.parse().map_err(|_| "bad repetition count")?
+                            };
+                            match self.chars.next() {
+                                Some('}') => max,
+                                _ => return Err("unclosed repetition".into()),
+                            }
+                        }
+                        _ => return Err("unclosed repetition".into()),
+                    };
+                    if max < min {
+                        return Err("inverted repetition bounds".into());
+                    }
+                    Node::Repeat(Box::new(atom), min, max)
+                }
+                _ => atom,
+            };
+            Ok(node)
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Generates one string matching `node`.
+    pub fn generate(node: &Node, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(node, rng, &mut out);
+        out
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Alt(arms) => {
+                let i = rng.below(arms.len() as u64) as usize;
+                emit(&arms[i], rng, out);
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::Any => {
+                let span = (*PRINTABLE.end() - *PRINTABLE.start() + 1) as u64;
+                out.push((*PRINTABLE.start() + rng.below(span) as u8) as char);
+            }
+            Node::Class(members) => {
+                let i = rng.below(members.len() as u64) as usize;
+                out.push(members[i]);
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = *min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// How many cases each property test runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Seeds the per-test RNG from the test's name (stable across runs).
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    hash
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng =
+                    $crate::TestRng::seed_from_u64($crate::fnv1a(stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let (a, b) = ((0u8..4), (10usize..12)).generate(&mut rng);
+            assert!(a < 4 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 0..5).generate(&mut rng);
+            assert!(v.len() < 5);
+            let exact = crate::collection::vec(any::<u8>(), 3).generate(&mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_their_pattern() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let s = crate::string::string_regex("[a-c]{2,4}").expect("parses");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+        let alt = crate::string::string_regex("ab(c|d)?( x)?").expect("parses");
+        for _ in 0..50 {
+            let v = alt.generate(&mut rng);
+            assert!(v.starts_with("ab"), "{v:?}");
+        }
+        // `&str` is itself a strategy.
+        let direct = "t[0-9]".generate(&mut rng);
+        assert!(direct.starts_with('t') && direct.len() == 2, "{direct:?}");
+    }
+
+    #[test]
+    fn invalid_regex_is_an_error() {
+        assert!(crate::string::string_regex("(unclosed").is_err());
+        assert!(crate::string::string_regex("[unclosed").is_err());
+        assert!(crate::string::string_regex("a{2,1}").is_err());
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        let s = prop_oneof![Just(1u32), Just(2), (10u32..12).prop_map(|v| v)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself compiles and runs with config, metas and
+        /// multiple arguments.
+        #[test]
+        fn macro_smoke(x in 0u64..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

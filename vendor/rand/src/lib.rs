@@ -1,0 +1,120 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the surface the workspace uses: a seedable, cloneable
+//! small PRNG ([`rngs::SmallRng`]) with uniform range sampling via
+//! [`RngExt::random_range`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — the same construction the real `SmallRng` uses on 64-bit
+//! targets — so schedules remain deterministic per seed.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling helpers over a raw `u64` source.
+pub trait RngExt {
+    /// The next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (Lemire-style rejection-free widening
+    /// multiply; bias is negligible for the small ranges used here).
+    fn random_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = (range.end - range.start) as u64;
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi as usize
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// A xoshiro256** generator: 256 bits of state, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngExt for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.random_range(0..5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        for _ in 0..100 {
+            let v = rng.random_range(3..4);
+            assert_eq!(v, 3);
+        }
+    }
+}
