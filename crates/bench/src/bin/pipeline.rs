@@ -6,6 +6,12 @@
 //! determinism contract), and emits the measured traces/sec into
 //! `BENCH_pipeline.json` alongside the per-rule engine counters.
 //!
+//! The run also enforces the checked-in word-ops budget
+//! (`tests/data/wordops_budget.txt`): if the corpus-total `word_ops`
+//! exceeds the budget the binary exits nonzero, failing CI's perf-guard
+//! step. Run with `BLESS=1` to re-bless the budget after an intentional
+//! engine change.
+//!
 //! Run with `cargo run --release -p droidracer-bench --bin pipeline`.
 //! The JSON lands in the current directory.
 
@@ -126,6 +132,63 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+
+    enforce_word_ops_budget(&stats_rows);
+}
+
+/// Fails (exit 1) if the corpus-total `word_ops` regresses above the
+/// checked-in budget. `BLESS=1` rewrites the budget file instead. The
+/// counter is fully deterministic, so the budget is an exact ceiling, not a
+/// noisy timing threshold.
+fn enforce_word_ops_budget(stats: &[(&str, &EngineStats)]) {
+    let budget_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/wordops_budget.txt"
+    );
+    let total: u64 = stats.iter().map(|(_, s)| s.word_ops).sum();
+    if std::env::var("BLESS").is_ok() {
+        let content = format!(
+            "# Corpus-total happens-before `word_ops` budget, enforced by the\n\
+             # pipeline bench (CI perf-guard). Regenerate with:\n\
+             #   BLESS=1 cargo run --release -p droidracer-bench --bin pipeline\n\
+             {total}\n"
+        );
+        match std::fs::write(budget_path, content) {
+            Ok(()) => println!("blessed word-ops budget: {total}"),
+            Err(e) => {
+                eprintln!("could not write {budget_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let budget: u64 = match std::fs::read_to_string(budget_path) {
+        Ok(text) => match text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse().ok())
+        {
+            Some(b) => b,
+            None => {
+                eprintln!("word-ops budget file {budget_path} is malformed");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("missing word-ops budget {budget_path}: {e} (run with BLESS=1)");
+            std::process::exit(1);
+        }
+    };
+    if total > budget {
+        eprintln!(
+            "PERF REGRESSION: corpus-total word_ops {total} exceeds budget {budget} \
+             (+{:.1}%). If intentional, re-bless with BLESS=1.",
+            100.0 * (total as f64 - budget as f64) / budget as f64
+        );
+        std::process::exit(1);
+    }
+    println!("word-ops budget OK: {total} <= {budget}");
 }
 
 /// Hand-rolled JSON (no serde in the dependency-free pipeline).
@@ -162,7 +225,8 @@ fn render_json(
     for (i, (name, s)) in stats.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"app\": \"{}\", \"base_edges\": {}, \"fifo\": {}, \"nopre\": {}, \
-             \"trans_st\": {}, \"trans_mt\": {}, \"rounds\": {}, \"word_ops\": {} }}{}\n",
+             \"trans_st\": {}, \"trans_mt\": {}, \"rounds\": {}, \"word_ops\": {}, \
+             \"worklist_pops\": {}, \"rows_recomputed\": {}, \"skipped_words\": {} }}{}\n",
             name,
             s.base_edges,
             s.fifo_fired,
@@ -171,6 +235,9 @@ fn render_json(
             s.trans_mt_edges,
             s.rounds,
             s.word_ops,
+            s.worklist_pops,
+            s.rows_recomputed,
+            s.skipped_words,
             if i + 1 < stats.len() { "," } else { "" }
         ));
     }

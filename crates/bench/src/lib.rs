@@ -76,7 +76,9 @@ impl TextTable {
 
 /// Builds the hot-path counter table for a set of analyzed traces: one row
 /// per trace showing where the happens-before engine spent its effort
-/// (base edges, per-rule firings, fixpoint rounds, bit-matrix word-ops).
+/// (base edges, per-rule firings, fixpoint rounds, bit-matrix word-ops,
+/// and the incremental-worklist counters — pops, rows recomputed, and
+/// words the sparse row bounds let saturation skip).
 pub fn engine_stats_table<'a>(
     rows: impl IntoIterator<Item = (&'a str, &'a EngineStats)>,
 ) -> TextTable {
@@ -89,11 +91,12 @@ pub fn engine_stats_table<'a>(
         "TRANS-MT",
         "Rounds",
         "Word-ops",
+        "Pops",
+        "Rows",
+        "Skipped",
     ]);
-    let mut total = EngineStats::default();
-    let mut n = 0usize;
-    for (name, s) in rows {
-        table.row([
+    fn cells(name: &str, s: &EngineStats) -> [String; 11] {
+        [
             name.to_owned(),
             s.base_edges.to_string(),
             s.fifo_fired.to_string(),
@@ -102,28 +105,21 @@ pub fn engine_stats_table<'a>(
             s.trans_mt_edges.to_string(),
             s.rounds.to_string(),
             s.word_ops.to_string(),
-        ]);
-        total.base_edges += s.base_edges;
-        total.fifo_fired += s.fifo_fired;
-        total.nopre_fired += s.nopre_fired;
-        total.trans_st_edges += s.trans_st_edges;
-        total.trans_mt_edges += s.trans_mt_edges;
-        total.rounds += s.rounds;
-        total.word_ops += s.word_ops;
+            s.worklist_pops.to_string(),
+            s.rows_recomputed.to_string(),
+            s.skipped_words.to_string(),
+        ]
+    }
+    let mut total = EngineStats::default();
+    let mut n = 0usize;
+    for (name, s) in rows {
+        table.row(cells(name, s));
+        total.absorb(s);
         n += 1;
     }
     if n > 1 {
         table.rule();
-        table.row([
-            "TOTAL".to_owned(),
-            total.base_edges.to_string(),
-            total.fifo_fired.to_string(),
-            total.nopre_fired.to_string(),
-            total.trans_st_edges.to_string(),
-            total.trans_mt_edges.to_string(),
-            total.rounds.to_string(),
-            total.word_ops.to_string(),
-        ]);
+        table.row(cells("TOTAL", &total));
     }
     table
 }

@@ -1,16 +1,45 @@
-//! A dense square bit matrix used for happens-before reachability.
+//! A dense square bit matrix used for happens-before reachability, with
+//! per-row nonzero word bounds.
+//!
+//! Happens-before edges always point forward in the trace, so row `i` of a
+//! relation matrix is empty below (roughly) word `i/64` and — early in the
+//! fixpoint — often empty above some frontier too. Every row carries a
+//! conservative `[lo, hi)` word range containing all of its nonzero words;
+//! row operations skip the all-zero prefix and suffix entirely. The engine
+//! counts `word_ops` as words *actually touched* under these bounds and
+//! `skipped_words` as the words the bounds let it skip.
+//!
+//! The bounds are an over-approximation (words inside the range may be
+//! zero, words outside never are) and depend on the operation order, so
+//! they are deliberately excluded from equality: two matrices compare equal
+//! iff their dimensions and bit contents match.
 
 use std::fmt;
 
 /// A square boolean matrix backed by `u64` words, storing one row per graph
 /// node. Row `i` holds the set of nodes `j` with an edge (or derived
 /// ordering) `i → j`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct BitMatrix {
     n: usize,
     words_per_row: usize,
     bits: Vec<u64>,
+    /// Per-row first possibly-nonzero word index.
+    lo: Vec<u32>,
+    /// Per-row one-past-last possibly-nonzero word index (`lo == hi` ⇔ the
+    /// row is known empty).
+    hi: Vec<u32>,
 }
+
+impl PartialEq for BitMatrix {
+    /// Bounds are an order-dependent over-approximation; equality is over
+    /// the logical contents only.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.bits == other.bits
+    }
+}
+
+impl Eq for BitMatrix {}
 
 impl BitMatrix {
     /// Creates an `n × n` matrix of zeros.
@@ -20,6 +49,8 @@ impl BitMatrix {
             n,
             words_per_row,
             bits: vec![0; n * words_per_row],
+            lo: vec![0; n],
+            hi: vec![0; n],
         }
     }
 
@@ -33,20 +64,51 @@ impl BitMatrix {
         self.n == 0
     }
 
+    /// Number of 64-bit words backing one row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
     #[inline]
     fn row_range(&self, i: usize) -> std::ops::Range<usize> {
         let start = i * self.words_per_row;
         start..start + self.words_per_row
     }
 
+    /// The conservative `[lo, hi)` word range of row `i`'s nonzero words.
+    /// `lo == hi` means the row is empty.
+    #[inline]
+    pub fn row_bounds(&self, i: usize) -> (usize, usize) {
+        (self.lo[i] as usize, self.hi[i] as usize)
+    }
+
+    /// Grows row `i`'s bounds to cover word range `[wlo, whi)`.
+    #[inline]
+    fn widen(&mut self, i: usize, wlo: usize, whi: usize) {
+        if wlo >= whi {
+            return;
+        }
+        if self.lo[i] == self.hi[i] {
+            self.lo[i] = wlo as u32;
+            self.hi[i] = whi as u32;
+        } else {
+            self.lo[i] = self.lo[i].min(wlo as u32);
+            self.hi[i] = self.hi[i].max(whi as u32);
+        }
+    }
+
     /// Sets bit `(i, j)`. Returns `true` if the bit was newly set.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize) -> bool {
         debug_assert!(i < self.n && j < self.n);
-        let word = &mut self.bits[i * self.words_per_row + j / 64];
+        let w = j / 64;
+        let word = &mut self.bits[i * self.words_per_row + w];
         let mask = 1u64 << (j % 64);
         let was = *word & mask != 0;
         *word |= mask;
+        if !was {
+            self.widen(i, w, w + 1);
+        }
         !was
     }
 
@@ -62,49 +124,121 @@ impl BitMatrix {
         &self.bits[self.row_range(i)]
     }
 
-    /// ORs row `src` into row `dst`. Returns `true` if `dst` changed.
+    /// Split-borrows rows `src` (shared) and `dst` (mutable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    #[inline]
+    fn src_dst_rows(&mut self, src: usize, dst: usize) -> (&[u64], &mut [u64]) {
+        assert_ne!(src, dst, "source and destination rows must differ");
+        let w = self.words_per_row;
+        let (s, d) = (src * w, dst * w);
+        if s < d {
+            let (head, tail) = self.bits.split_at_mut(d);
+            (&head[s..s + w], &mut tail[..w])
+        } else {
+            let (head, tail) = self.bits.split_at_mut(s);
+            (&tail[..w], &mut head[d..d + w])
+        }
+    }
+
+    /// ORs row `src` into row `dst`, touching only `src`'s bounded word
+    /// range. Returns `true` if `dst` changed. Self-merge is a no-op.
     pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
-        debug_assert!(src != dst || src < self.n);
         if src == dst {
             return false;
         }
-        let (s, d) = (self.row_range(src), self.row_range(dst));
+        let (slo, shi) = self.row_bounds(src);
+        if slo >= shi {
+            return false;
+        }
+        let (src_row, dst_row) = self.src_dst_rows(src, dst);
         let mut changed = false;
-        // Split borrows: rows never overlap because src != dst.
-        let (lo, hi, src_first) = if s.start < d.start {
-            (s, d, true)
-        } else {
-            (d, s, false)
-        };
-        let (head, tail) = self.bits.split_at_mut(hi.start);
-        let lo_slice = &mut head[lo];
-        let hi_slice = &mut tail[..hi.end - hi.start];
-        let (src_slice, dst_slice): (&[u64], &mut [u64]) = if src_first {
-            (lo_slice, hi_slice)
-        } else {
-            (hi_slice, lo_slice)
-        };
-        for (dw, sw) in dst_slice.iter_mut().zip(src_slice.iter()) {
+        for (dw, sw) in dst_row[slo..shi].iter_mut().zip(&src_row[slo..shi]) {
             let new = *dw | *sw;
             changed |= new != *dw;
             *dw = new;
         }
+        if changed {
+            self.widen(dst, slo, shi);
+        }
         changed
+    }
+
+    /// ORs `(self.row(src) | with.row(src)) & !mask` into row `dst`,
+    /// invoking `on_new` with the position of every bit this newly sets.
+    /// Touches only the union of the two source rows' bounded ranges;
+    /// returns the number of words touched.
+    ///
+    /// This is the TRANS-MT composition step: `self` is the cross-thread
+    /// matrix (holding both `src` and `dst` rows), `with` the same-thread
+    /// matrix, and `mask` the bit set of nodes on `dst`'s own thread, whose
+    /// orderings must not be recorded cross-thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or the matrices differ in size.
+    pub fn or_union_masked_into(
+        &mut self,
+        src: usize,
+        with: &BitMatrix,
+        mask: &[u64],
+        dst: usize,
+        mut on_new: impl FnMut(usize),
+    ) -> usize {
+        assert_eq!(self.words_per_row, with.words_per_row, "size mismatch");
+        let (alo, ahi) = self.row_bounds(src);
+        let (blo, bhi) = with.row_bounds(src);
+        let (lo, hi) = match (alo < ahi, blo < bhi) {
+            (false, false) => return 0,
+            (true, false) => (alo, ahi),
+            (false, true) => (blo, bhi),
+            (true, true) => (alo.min(blo), ahi.max(bhi)),
+        };
+        let with_row = with.row(src);
+        let (src_row, dst_row) = self.src_dst_rows(src, dst);
+        let mut changed = false;
+        for w in lo..hi {
+            let val = (src_row[w] | with_row[w]) & !mask[w];
+            let mut added = val & !dst_row[w];
+            if added != 0 {
+                changed = true;
+                dst_row[w] |= val;
+                while added != 0 {
+                    on_new(w * 64 + added.trailing_zeros() as usize);
+                    added &= added - 1;
+                }
+            }
+        }
+        if changed {
+            self.widen(dst, lo, hi);
+        }
+        hi - lo
     }
 
     /// ORs an external word slice into row `dst`. Returns `true` on change.
     pub fn or_words_into(&mut self, words: &[u64], dst: usize) -> bool {
         let range = self.row_range(dst);
         let mut changed = false;
-        for (dw, sw) in self.bits[range].iter_mut().zip(words.iter()) {
+        let (mut wlo, mut whi) = (usize::MAX, 0usize);
+        for (w, (dw, sw)) in self.bits[range].iter_mut().zip(words.iter()).enumerate() {
             let new = *dw | *sw;
-            changed |= new != *dw;
+            if new != *dw {
+                changed = true;
+                wlo = wlo.min(w);
+                whi = w + 1;
+            }
             *dw = new;
+        }
+        if changed {
+            self.widen(dst, wlo, whi);
         }
         changed
     }
 
     /// ANDs the complement of `mask` into row `dst` (clears masked bits).
+    /// The row's bounds stay valid: they over-approximate.
     pub fn clear_masked(&mut self, mask: &[u64], dst: usize) {
         let range = self.row_range(dst);
         for (dw, mw) in self.bits[range].iter_mut().zip(mask.iter()) {
@@ -112,9 +246,11 @@ impl BitMatrix {
         }
     }
 
-    /// Iterates over the set bit positions of row `i`.
+    /// Iterates over the set bit positions of row `i`, scanning only its
+    /// bounded word range.
     pub fn iter_row(&self, i: usize) -> BitIter<'_> {
-        BitIter::new(self.row(i))
+        let (lo, hi) = self.row_bounds(i);
+        BitIter::with_offset(&self.row(i)[lo..hi], lo)
     }
 
     /// Number of set bits in the whole matrix.
@@ -146,15 +282,24 @@ impl fmt::Debug for BitMatrix {
 pub struct BitIter<'a> {
     words: &'a [u64],
     word_idx: usize,
+    offset: usize,
     current: u64,
 }
 
 impl<'a> BitIter<'a> {
     /// Creates an iterator over the set bits of `words`.
     pub fn new(words: &'a [u64]) -> Self {
+        Self::with_offset(words, 0)
+    }
+
+    /// Creates an iterator over the set bits of `words`, reporting
+    /// positions as if the slice started at word `offset` of a larger row
+    /// (used to iterate a row through its nonzero bounds).
+    pub fn with_offset(words: &'a [u64], offset: usize) -> Self {
         BitIter {
             words,
             word_idx: 0,
+            offset,
             current: words.first().copied().unwrap_or(0),
         }
     }
@@ -173,11 +318,12 @@ impl Iterator for BitIter<'_> {
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
-        Some(self.word_idx * 64 + bit)
+        Some((self.offset + self.word_idx) * 64 + bit)
     }
 }
 
-/// A standalone bit set sized for `n` node ids, used for thread masks.
+/// A standalone bit set sized for `n` node ids, used for thread masks and
+/// the engine's dirty-node marks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
@@ -202,6 +348,11 @@ impl BitSet {
             .get(i / 64)
             .map(|w| w & (1u64 << (i % 64)) != 0)
             .unwrap_or(false)
+    }
+
+    /// Removes every member (the backing storage is retained).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
     }
 
     /// The backing words.
@@ -254,6 +405,84 @@ mod tests {
     }
 
     #[test]
+    fn row_bounds_track_nonzero_words() {
+        let mut m = BitMatrix::new(64 * 5);
+        assert_eq!(m.row_bounds(3), (0, 0)); // empty row
+        m.set(3, 130); // word 2
+        assert_eq!(m.row_bounds(3), (2, 3));
+        m.set(3, 300); // word 4
+        assert_eq!(m.row_bounds(3), (2, 5));
+        m.set(3, 10); // word 0
+        assert_eq!(m.row_bounds(3), (0, 5));
+        // Bounds propagate through row merges.
+        m.set(7, 70); // word 1
+        m.or_row_into(3, 7);
+        let (lo, hi) = m.row_bounds(7);
+        assert!(lo == 0 && hi == 5);
+    }
+
+    #[test]
+    fn bounds_are_conservative_and_excluded_from_eq() {
+        let mut a = BitMatrix::new(200);
+        let mut b = BitMatrix::new(200);
+        // Same final contents, different op orders → possibly different
+        // bounds, still equal.
+        a.set(0, 150);
+        a.set(0, 3);
+        b.set(0, 3);
+        b.set(0, 150);
+        b.set(1, 9);
+        b.or_row_into(1, 0); // widens row 0's bounds conservatively
+        a.set(0, 9);
+        a.set(1, 9);
+        assert_eq!(a, b);
+        // Every nonzero word is inside the bounds.
+        for m in [&a, &b] {
+            for i in 0..m.len() {
+                let (lo, hi) = m.row_bounds(i);
+                for (w, word) in m.row(i).iter().enumerate() {
+                    if *word != 0 {
+                        assert!(lo <= w && w < hi, "word {w} outside [{lo},{hi})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_union_masked_into_composes_and_reports_new_bits() {
+        let n = 130;
+        let mut mt = BitMatrix::new(n);
+        let mut st = BitMatrix::new(n);
+        let mut mask = BitSet::new(n);
+        mask.insert(7); // "same thread" bit: must not be recorded
+        mt.set(5, 70);
+        st.set(5, 7);
+        st.set(5, 128);
+        mt.set(2, 5);
+        let mut new_bits = Vec::new();
+        let touched = mt.or_union_masked_into(5, &st, mask.words(), 2, |b| new_bits.push(b));
+        assert!(touched >= 2, "words touched spans both source rows");
+        new_bits.sort_unstable();
+        assert_eq!(new_bits, vec![70, 128], "7 masked out, 5 already set? no: 5 is dst bit");
+        assert!(mt.get(2, 70) && mt.get(2, 128));
+        assert!(!mt.get(2, 7), "masked bit stays clear");
+        // Re-running adds nothing.
+        let mut again = Vec::new();
+        mt.or_union_masked_into(5, &st, mask.words(), 2, |b| again.push(b));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn or_union_masked_into_empty_sources_touches_nothing() {
+        let mut mt = BitMatrix::new(70);
+        let st = BitMatrix::new(70);
+        let mask = BitSet::new(70);
+        let touched = mt.or_union_masked_into(3, &st, mask.words(), 1, |_| panic!("no new bits"));
+        assert_eq!(touched, 0);
+    }
+
+    #[test]
     fn iter_row_yields_sorted_positions() {
         let mut m = BitMatrix::new(200);
         for j in [0, 63, 64, 128, 199] {
@@ -261,6 +490,15 @@ mod tests {
         }
         let got: Vec<usize> = m.iter_row(2).collect();
         assert_eq!(got, vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn iter_row_respects_offset_bounds() {
+        let mut m = BitMatrix::new(300);
+        m.set(1, 170);
+        m.set(1, 290);
+        assert_eq!(m.row_bounds(1), (2, 5));
+        assert_eq!(m.iter_row(1).collect::<Vec<_>>(), vec![170, 290]);
     }
 
     #[test]
@@ -283,6 +521,7 @@ mod tests {
         assert!(m.or_words_into(set.words(), 4));
         assert!(!m.or_words_into(set.words(), 4));
         assert!(m.get(4, 69));
+        assert_eq!(m.iter_row(4).collect::<Vec<_>>(), vec![69]);
     }
 
     #[test]
@@ -293,6 +532,8 @@ mod tests {
         s.insert(0);
         assert!(s.contains(99) && s.contains(0) && !s.contains(50));
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 99]);
+        s.clear();
+        assert!(!s.contains(99) && s.iter().next().is_none());
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::collections::HashMap;
 
 use droidracer_trace::{LockId, Op, OpKind, PostKind, TaskId, ThreadId, Trace, TraceIndex};
 
-use crate::bitmatrix::{BitIter, BitMatrix};
-use crate::graph::{HbGraph, NodeId};
+use crate::bitmatrix::{BitIter, BitMatrix, BitSet};
+use crate::graph::{DirectEdges, HbGraph, NodeId};
 use crate::rules::{HbConfig, RuleSet};
 
 /// Hot-path counters recorded while computing one happens-before relation.
@@ -51,15 +51,41 @@ pub struct EngineStats {
     pub trans_mt_edges: usize,
     /// Fixpoint rounds (saturate + generators) until convergence.
     pub rounds: usize,
-    /// 64-bit words processed by bit-matrix row operations during
-    /// saturation — the engine's dominant unit of work.
+    /// 64-bit words actually touched by bit-matrix row operations during
+    /// saturation — the engine's dominant unit of work. Rows carry sparse
+    /// `[lo, hi)` nonzero word bounds, so this counts only words inside the
+    /// bounds of the rows involved, not whole matrix rows.
     pub word_ops: u64,
+    /// Nodes popped off the dirty-propagation worklist in incremental
+    /// rounds (rounds after the first). Zero for the reference engine.
+    pub worklist_pops: u64,
+    /// Rows recomputed by saturation: all rows in round one, only dirty
+    /// rows afterwards. Zero for the reference engine.
+    pub rows_recomputed: u64,
+    /// Words the row bounds allowed saturation to skip — the all-zero
+    /// prefix/suffix words a whole-row scan would have touched.
+    pub skipped_words: u64,
 }
 
 impl EngineStats {
     /// Total edges derived by non-base rules (transitivity + generators).
     pub fn derived_edges(&self) -> usize {
         self.trans_st_edges + self.trans_mt_edges + self.fifo_fired + self.nopre_fired
+    }
+
+    /// Adds every counter of `other` into `self` — used to aggregate
+    /// per-trace stats into corpus totals.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.base_edges += other.base_edges;
+        self.fifo_fired += other.fifo_fired;
+        self.nopre_fired += other.nopre_fired;
+        self.trans_st_edges += other.trans_st_edges;
+        self.trans_mt_edges += other.trans_mt_edges;
+        self.rounds += other.rounds;
+        self.word_ops += other.word_ops;
+        self.worklist_pops += other.worklist_pops;
+        self.rows_recomputed += other.rows_recomputed;
+        self.skipped_words += other.skipped_words;
     }
 }
 
@@ -113,12 +139,35 @@ impl HappensBefore {
         config: HbConfig,
         assumed: &[(usize, usize)],
     ) -> Self {
+        Self::compute_inner(trace, index, config, assumed, false)
+    }
+
+    /// Computes the relation with the retained naive reference saturation:
+    /// every fixpoint round rescans every row of every matrix, exactly as
+    /// the engine did before the incremental worklist rewrite.
+    ///
+    /// This exists for differential testing (`tests/closure_equivalence.rs`
+    /// asserts the incremental engine's matrices are bit-identical to this
+    /// one's) and is not meant for production use — its `word_ops` grow
+    /// with matrix size instead of with change.
+    pub fn compute_reference(trace: &Trace, config: HbConfig) -> Self {
+        let index = trace.index();
+        Self::compute_inner(trace, &index, config, &[], true)
+    }
+
+    fn compute_inner(
+        trace: &Trace,
+        index: &TraceIndex,
+        config: HbConfig,
+        assumed: &[(usize, usize)],
+        reference: bool,
+    ) -> Self {
         // Anchor the assumed edges precisely: their endpoints must not be
         // swallowed by access blocks, or the injected edge would order whole
         // blocks the assumption says nothing about.
         let breaks: Vec<usize> = assumed.iter().flat_map(|&(i, j)| [i, j]).collect();
         let graph = HbGraph::build_with_breaks(trace, index, config.merge_accesses, &breaks);
-        let mut builder = EngineState::new(trace, index, &graph, config.rules);
+        let mut builder = EngineState::new(trace, index, &graph, config.rules, reference);
         builder.add_base_edges();
         for &(i, j) in assumed {
             assert!(i < j, "assumed edges must point forward");
@@ -195,6 +244,16 @@ impl HappensBefore {
             Relation::Plain(r) => r.count_ones(),
         }
     }
+
+    /// The closed relation's matrices: `(st, Some(mt))` under restricted
+    /// transitivity, `(plain, None)` in the naive ablation mode. Exposed for
+    /// the differential equivalence suite.
+    pub fn relation_matrices(&self) -> (&BitMatrix, Option<&BitMatrix>) {
+        match &self.relation {
+            Relation::Restricted { st, mt } => (st, Some(mt)),
+            Relation::Plain(r) => (r, None),
+        }
+    }
 }
 
 /// A FIFO/NOPRE candidate: a pair of tasks executed on the same thread,
@@ -220,10 +279,47 @@ struct EngineState<'a> {
     /// Nodes of each task, used by NOPRE.
     task_nodes: HashMap<TaskId, Vec<NodeId>>,
     stats: EngineStats,
+    /// Run the retained whole-matrix reference saturation instead of the
+    /// incremental worklist (differential-testing aid).
+    reference: bool,
+    /// Direct same-thread edges — base rules, assumed edges and generator
+    /// firings, before any saturation. In `Plain` mode this holds *all*
+    /// direct edges (the naive closure does not split by thread).
+    st_edges: DirectEdges,
+    /// Direct cross-thread edges (empty in `Plain` mode). The predecessor
+    /// lists of both edge sets drive dirty propagation.
+    mt_edges: DirectEdges,
+    /// Sources `a` of direct edges added since the last saturation: a row
+    /// `x` can only change if `x` reaches one of them.
+    dirty_sources: Vec<NodeId>,
+    /// Rows the last saturation recomputed — generator candidates are
+    /// re-examined only if they watch one of these.
+    last_dirty: Vec<NodeId>,
+    /// Membership mark for the dirty backward traversal.
+    dirty_mark: BitSet,
+    /// Scratch stack, reused for dirty propagation and as the TRANS-MT
+    /// composition frontier.
+    frontier: Vec<NodeId>,
+    /// Candidate indices per watched node: a FIFO candidate watches its
+    /// first post, a NOPRE candidate every node of its first task — exactly
+    /// the rows whose recomputation can flip the rule's guard.
+    watchers: Vec<Vec<u32>>,
+    /// Per-candidate round stamp deduplicating the examine list.
+    examine_stamp: Vec<u32>,
+    /// Candidates that fired or whose conclusion was derived otherwise.
+    candidate_done: Vec<bool>,
+    /// Scratch for the per-round examine list.
+    examine_buf: Vec<u32>,
 }
 
 impl<'a> EngineState<'a> {
-    fn new(trace: &'a Trace, index: &'a TraceIndex, graph: &'a HbGraph, rules: RuleSet) -> Self {
+    fn new(
+        trace: &'a Trace,
+        index: &'a TraceIndex,
+        graph: &'a HbGraph,
+        rules: RuleSet,
+        reference: bool,
+    ) -> Self {
         let n = graph.node_count();
         let relation = if rules.restricted_transitivity {
             Relation::Restricted {
@@ -248,6 +344,17 @@ impl<'a> EngineState<'a> {
             candidates: Vec::new(),
             task_nodes,
             stats: EngineStats::default(),
+            reference,
+            st_edges: DirectEdges::new(n),
+            mt_edges: DirectEdges::new(n),
+            dirty_sources: Vec::new(),
+            last_dirty: Vec::new(),
+            dirty_mark: BitSet::new(n),
+            frontier: Vec::new(),
+            watchers: vec![Vec::new(); n],
+            examine_stamp: Vec::new(),
+            candidate_done: Vec::new(),
+            examine_buf: Vec::new(),
         }
     }
 
@@ -259,21 +366,33 @@ impl<'a> EngineState<'a> {
         }
     }
 
+    /// Adds the *direct* edge `a → b` (base rule, assumed edge or generator
+    /// firing). Newly added edges are recorded in the adjacency lists and
+    /// their source is enqueued for the next incremental saturation.
     fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         if a == b {
             return false;
         }
         debug_assert!(a < b, "happens-before edges point forward in the trace");
-        match &mut self.relation {
+        let (added, cross) = match &mut self.relation {
             Relation::Restricted { st, mt } => {
                 if self.graph.node(a).thread == self.graph.node(b).thread {
-                    st.set(a, b)
+                    (st.set(a, b), false)
                 } else {
-                    mt.set(a, b)
+                    (mt.set(a, b), true)
                 }
             }
-            Relation::Plain(r) => r.set(a, b),
+            Relation::Plain(r) => (r.set(a, b), false),
+        };
+        if added {
+            if cross {
+                self.mt_edges.push(a, b);
+            } else {
+                self.st_edges.push(a, b);
+            }
+            self.dirty_sources.push(a);
         }
+        added
     }
 
     fn ordered(&self, a: NodeId, b: NodeId) -> bool {
@@ -480,7 +599,7 @@ impl<'a> EngineState<'a> {
                     let post2 = second_info
                         .post
                         .map(|p| (self.graph.node_of(p), second_info.post_kind));
-                    self.candidates.push(TaskPairCandidate {
+                    self.register_candidate(TaskPairCandidate {
                         end_node: self.graph.node_of(end),
                         begin_node: self.graph.node_of(b2),
                         post1,
@@ -492,71 +611,285 @@ impl<'a> EngineState<'a> {
         }
     }
 
+    /// Stores a candidate and indexes it under the nodes whose row
+    /// recomputation can flip its guard. A FIFO guard `post1 ≺ post2` only
+    /// flips when row `post1` changes; a NOPRE guard `∃k ∈ nodes(taskA):
+    /// k ≺ post2` only when some row `k` changes. Candidates that can never
+    /// fire under the active rules are dropped outright.
+    fn register_candidate(&mut self, cand: TaskPairCandidate) {
+        let fifo_possible = self.rules.fifo
+            && matches!(
+                (cand.post1, cand.post2),
+                (Some((_, k1)), Some((_, k2))) if fifo_delay_ok(k1, k2, self.rules.delayed_fifo)
+            );
+        let nopre_possible = self.rules.nopre
+            && cand.post2.is_some()
+            && self.task_nodes.contains_key(&cand.first_task);
+        if !fifo_possible && !nopre_possible {
+            return;
+        }
+        let idx = u32::try_from(self.candidates.len()).expect("fewer than 2^32 candidates");
+        self.candidates.push(cand);
+        self.candidate_done.push(false);
+        self.examine_stamp.push(0);
+        if fifo_possible {
+            let (p1, _) = cand.post1.expect("fifo_possible implies post1");
+            self.watchers[p1].push(idx);
+        }
+        if nopre_possible {
+            let nodes = &self.task_nodes[&cand.first_task];
+            for &k in nodes {
+                self.watchers[k].push(idx);
+            }
+        }
+    }
+
     /// Runs generator + transitivity to fixpoint, recording per-rule
     /// counters as it goes.
+    ///
+    /// Round one performs a full saturation (every row), seeding the
+    /// incremental state; each later round recomputes only the rows that
+    /// can reach a freshly added generator edge, and re-examines only the
+    /// generator candidates watching one of those rows. Since edge addition
+    /// is monotone and the per-round rule order is unchanged, the fixpoint
+    /// — and even the per-round counter deltas — match the reference
+    /// whole-matrix saturation exactly.
     fn run_fixpoint(&mut self) {
         loop {
             self.stats.rounds += 1;
             let (st0, mt0) = self.relation_sizes();
-            let mut changed = self.saturate();
+            let mut changed = if self.reference {
+                self.dirty_sources.clear();
+                self.saturate_reference()
+            } else if self.stats.rounds == 1 {
+                self.saturate_all()
+            } else {
+                self.saturate_dirty()
+            };
             let (st1, mt1) = self.relation_sizes();
             self.stats.trans_st_edges += st1 - st0;
             self.stats.trans_mt_edges += mt1 - mt0;
-            changed |= self.fire_generators();
+            let examine_all = self.reference || self.stats.rounds == 1;
+            changed |= self.fire_generators(examine_all);
             if !changed {
                 return;
             }
         }
     }
 
-    /// Applies FIFO and NOPRE to all still-pending candidates. Returns true
+    /// Applies FIFO and NOPRE. With `examine_all` (round one and reference
+    /// mode) every pending candidate is evaluated; afterwards only the
+    /// candidates watching a row the last saturation recomputed — a guard
+    /// bit can only have flipped if its source row went dirty. Returns true
     /// if any new edge was added.
-    fn fire_generators(&mut self) -> bool {
+    fn fire_generators(&mut self, examine_all: bool) -> bool {
         if self.candidates.is_empty() {
             return false;
         }
         let mut changed = false;
-        let mut remaining = Vec::with_capacity(self.candidates.len());
-        let candidates = std::mem::take(&mut self.candidates);
-        for cand in candidates {
-            if self.ordered(cand.end_node, cand.begin_node) {
-                continue; // already derived
+        if examine_all {
+            for c in 0..self.candidates.len() {
+                changed |= self.examine_candidate(c);
             }
-            let mut fifo_fire = false;
-            let mut nopre_fire = false;
-            if self.rules.fifo {
-                if let (Some((p1, k1)), Some((p2, k2))) = (cand.post1, cand.post2) {
-                    if fifo_delay_ok(k1, k2, self.rules.delayed_fifo) && self.ordered(p1, p2) {
-                        fifo_fire = true;
-                    }
+            return changed;
+        }
+        let mut examine = std::mem::take(&mut self.examine_buf);
+        examine.clear();
+        let stamp = self.stats.rounds as u32;
+        for di in 0..self.last_dirty.len() {
+            let r = self.last_dirty[di];
+            for wi in 0..self.watchers[r].len() {
+                let c = self.watchers[r][wi] as usize;
+                if !self.candidate_done[c] && self.examine_stamp[c] != stamp {
+                    self.examine_stamp[c] = stamp;
+                    examine.push(c as u32);
                 }
-            }
-            if !fifo_fire && self.rules.nopre {
-                if let Some((p2, _)) = cand.post2 {
-                    if let Some(nodes) = self.task_nodes.get(&cand.first_task) {
-                        nopre_fire = nodes.iter().any(|&k| self.ordered(k, p2));
-                    }
-                }
-            }
-            if fifo_fire || nopre_fire {
-                if self.add_edge(cand.end_node, cand.begin_node) {
-                    changed = true;
-                    if fifo_fire {
-                        self.stats.fifo_fired += 1;
-                    } else {
-                        self.stats.nopre_fired += 1;
-                    }
-                }
-            } else {
-                remaining.push(cand);
             }
         }
-        self.candidates = remaining;
+        // Evaluate in candidate order, matching the reference engine's
+        // full-scan order (candidates are independent within a round, but
+        // determinism is part of the stats contract).
+        examine.sort_unstable();
+        for &c in &examine {
+            changed |= self.examine_candidate(c as usize);
+        }
+        self.examine_buf = examine;
         changed
     }
 
-    /// One full transitivity saturation. Returns true if anything changed.
-    fn saturate(&mut self) -> bool {
+    /// Evaluates one pending candidate, firing at most one edge. A
+    /// candidate is retired once it fired or its conclusion was derived by
+    /// other rules.
+    fn examine_candidate(&mut self, c: usize) -> bool {
+        if self.candidate_done[c] {
+            return false;
+        }
+        let cand = self.candidates[c];
+        if self.ordered(cand.end_node, cand.begin_node) {
+            self.candidate_done[c] = true;
+            return false;
+        }
+        let mut fifo_fire = false;
+        if self.rules.fifo {
+            if let (Some((p1, k1)), Some((p2, k2))) = (cand.post1, cand.post2) {
+                if fifo_delay_ok(k1, k2, self.rules.delayed_fifo) && self.ordered(p1, p2) {
+                    fifo_fire = true;
+                }
+            }
+        }
+        let mut nopre_fire = false;
+        if !fifo_fire && self.rules.nopre {
+            if let Some((p2, _)) = cand.post2 {
+                if let Some(nodes) = self.task_nodes.get(&cand.first_task) {
+                    nopre_fire = nodes.iter().any(|&k| self.ordered(k, p2));
+                }
+            }
+        }
+        if (fifo_fire || nopre_fire) && self.add_edge(cand.end_node, cand.begin_node) {
+            self.candidate_done[c] = true;
+            if fifo_fire {
+                self.stats.fifo_fired += 1;
+            } else {
+                self.stats.nopre_fired += 1;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Round one of the incremental engine: recompute every row once, in
+    /// reverse trace order. Edges always point forward, so when row `i` is
+    /// processed every successor row `j > i` is already complete and one
+    /// pass reaches the closure.
+    fn saturate_all(&mut self) -> bool {
+        let n = self.graph.node_count();
+        // Base edges enqueued their sources; a full pass covers them all.
+        self.dirty_sources.clear();
+        self.last_dirty.clear();
+        let mut changed = false;
+        for i in (0..n).rev() {
+            changed |= self.recompute_row(i);
+        }
+        changed
+    }
+
+    /// Incremental rounds: a row `x` can only change if `x` reaches the
+    /// source of a freshly added direct edge, so walk the predecessor lists
+    /// backwards from the dirty sources and recompute exactly the marked
+    /// rows — again in reverse order, which keeps the complete-successor
+    /// invariant (an unmarked successor is provably unchanged, a marked one
+    /// has a larger id and was recomputed first).
+    fn saturate_dirty(&mut self) -> bool {
+        self.last_dirty.clear();
+        if self.dirty_sources.is_empty() {
+            return false;
+        }
+        self.dirty_mark.clear();
+        let mut stack = std::mem::take(&mut self.frontier);
+        stack.clear();
+        for si in 0..self.dirty_sources.len() {
+            let s = self.dirty_sources[si];
+            if !self.dirty_mark.contains(s) {
+                self.dirty_mark.insert(s);
+                stack.push(s);
+            }
+        }
+        self.dirty_sources.clear();
+        let mut dirty = std::mem::take(&mut self.last_dirty);
+        while let Some(x) = stack.pop() {
+            self.stats.worklist_pops += 1;
+            dirty.push(x);
+            for &p in self.st_edges.preds(x) {
+                if !self.dirty_mark.contains(p) {
+                    self.dirty_mark.insert(p);
+                    stack.push(p);
+                }
+            }
+            for &p in self.mt_edges.preds(x) {
+                if !self.dirty_mark.contains(p) {
+                    self.dirty_mark.insert(p);
+                    stack.push(p);
+                }
+            }
+        }
+        self.frontier = stack;
+        dirty.sort_unstable_by(|a, b| b.cmp(a));
+        let mut changed = false;
+        for &row in &dirty {
+            changed |= self.recompute_row(row);
+        }
+        self.last_dirty = dirty;
+        changed
+    }
+
+    /// Recomputes row `i`'s closure from its *direct* successors, relying
+    /// on their rows being complete.
+    ///
+    /// * `Plain`: the naive closure is the ordinary transitive closure of
+    ///   the direct-edge graph, so row `i` is the OR of its direct
+    ///   successors' rows.
+    /// * `Restricted`: TRANS-ST composes over same-thread chains only, and
+    ///   every same-thread successor of `i` is reached through a *direct*
+    ///   same-thread successor, so the st row is the OR of the direct st
+    ///   successors' st rows. TRANS-MT then composes the combined relation
+    ///   through a frontier seeded with the direct st successors and the
+    ///   current mt row: each popped node `k` contributes
+    ///   `(mt(k) | st(k)) & ¬thread(i)`, and every *newly* derived mt bit
+    ///   re-enters the frontier (a new cross-thread successor can enable
+    ///   further compositions — direct successors alone are not enough).
+    ///   Same-thread intermediates beyond the direct ones need no frontier
+    ///   entry: they are covered through the direct st successor that
+    ///   reaches them, which shares `i`'s thread mask.
+    fn recompute_row(&mut self, i: NodeId) -> bool {
+        self.stats.rows_recomputed += 1;
+        let row_words = self.graph.node_count().div_ceil(64) as u64;
+        match &mut self.relation {
+            Relation::Plain(r) => {
+                let mut changed = false;
+                for &d in self.st_edges.succs(i) {
+                    let (lo, hi) = r.row_bounds(d);
+                    self.stats.word_ops += (hi - lo) as u64;
+                    self.stats.skipped_words += row_words - (hi - lo) as u64;
+                    changed |= r.or_row_into(d, i);
+                }
+                changed
+            }
+            Relation::Restricted { st, mt } => {
+                let mut changed = false;
+                for &d in self.st_edges.succs(i) {
+                    let (lo, hi) = st.row_bounds(d);
+                    self.stats.word_ops += (hi - lo) as u64;
+                    self.stats.skipped_words += row_words - (hi - lo) as u64;
+                    changed |= st.or_row_into(d, i);
+                }
+                let mask = self
+                    .graph
+                    .thread_mask(self.graph.node(i).thread)
+                    .expect("every node's thread has a mask")
+                    .words();
+                let frontier = &mut self.frontier;
+                frontier.clear();
+                frontier.extend_from_slice(self.st_edges.succs(i));
+                frontier.extend(mt.iter_row(i));
+                let mut new_mt_bits = false;
+                while let Some(k) = frontier.pop() {
+                    let touched = mt.or_union_masked_into(k, st, mask, i, |b| {
+                        new_mt_bits = true;
+                        frontier.push(b);
+                    }) as u64;
+                    self.stats.word_ops += touched;
+                    self.stats.skipped_words += row_words - touched;
+                }
+                changed | new_mt_bits
+            }
+        }
+    }
+
+    /// One full whole-matrix saturation — the pre-rewrite algorithm,
+    /// retained verbatim as the differential-testing reference (its
+    /// `word_ops` still count whole rows per operation). Returns true if
+    /// anything changed.
+    fn saturate_reference(&mut self) -> bool {
         let n = self.graph.node_count();
         if n == 0 {
             return false;
@@ -1226,8 +1559,158 @@ mod tests {
         assert_eq!(s.trans_mt_edges, 10);
         assert_eq!(s.rounds, 3);
         assert!(s.word_ops > 0, "saturation touched the bit matrices");
+        // Incremental-engine counters, also hand-derivable. Round 1
+        // recomputes all 10 rows. The FIFO edge 7 → 8 dirties exactly the
+        // nodes reaching 7 through direct edges: {7, 6, 2, 4, 1, 3, 0} —
+        // seven pops, seven rows in round 2. Round 3 has no dirty sources.
+        assert_eq!(s.worklist_pops, 7);
+        assert_eq!(s.rows_recomputed, 17);
         // The counters partition the closed relation exactly.
         assert_eq!(hb.ordered_pairs(), s.base_edges + s.derived_edges());
+    }
+
+    /// The incremental engine and the retained reference saturation derive
+    /// bit-identical matrices and identical semantic counters (the
+    /// work-accounting counters legitimately differ).
+    #[test]
+    fn incremental_matches_reference_on_unit_traces() {
+        let traces = [
+            {
+                let mut b = TraceBuilder::new();
+                let main = b.thread("main", ThreadKind::Main, true);
+                let binder = b.thread("binder", ThreadKind::Binder, true);
+                let t1 = b.task("A");
+                let t2 = b.task("B");
+                let loc = b.loc("o", "C.f");
+                b.thread_init(main);
+                b.attach_q(main);
+                b.loop_on_q(main);
+                b.thread_init(binder);
+                b.post(binder, t1, main);
+                b.post(binder, t2, main);
+                b.begin(main, t1);
+                b.write(main, loc);
+                b.end(main, t1);
+                b.begin(main, t2);
+                b.read(main, loc);
+                b.end(main, t2);
+                b.finish()
+            },
+            {
+                let mut b = TraceBuilder::new();
+                let main = b.thread("main", ThreadKind::Main, true);
+                let bg = b.thread("bg", ThreadKind::App, false);
+                let l = b.lock("m");
+                let loc = b.loc("o", "C.f");
+                b.thread_init(main);
+                b.acquire(main, l);
+                b.write(main, loc);
+                b.release(main, l);
+                b.fork(main, bg);
+                b.thread_init(bg);
+                b.acquire(bg, l);
+                b.read(bg, loc);
+                b.release(bg, l);
+                b.thread_exit(bg);
+                b.join(main, bg);
+                b.finish()
+            },
+        ];
+        for trace in &traces {
+            for mode in HbMode::all() {
+                let config = HbConfig {
+                    rules: mode.rule_set(),
+                    merge_accesses: true,
+                };
+                let inc = HappensBefore::compute(trace, config);
+                let rf = HappensBefore::compute_reference(trace, config);
+                let (inc_a, inc_b) = inc.relation_matrices();
+                let (ref_a, ref_b) = rf.relation_matrices();
+                assert_eq!(inc_a, ref_a, "{mode:?}: primary matrix differs");
+                assert_eq!(inc_b, ref_b, "{mode:?}: mt matrix differs");
+                let (i, r) = (inc.stats(), rf.stats());
+                assert_eq!(
+                    (i.base_edges, i.fifo_fired, i.nopre_fired, i.rounds),
+                    (r.base_edges, r.fifo_fired, r.nopre_fired, r.rounds),
+                    "{mode:?}: semantic counters differ"
+                );
+                assert_eq!(i.trans_st_edges, r.trans_st_edges, "{mode:?}");
+                assert_eq!(i.trans_mt_edges, r.trans_mt_edges, "{mode:?}");
+                assert_eq!((r.worklist_pops, r.rows_recomputed), (0, 0));
+            }
+        }
+    }
+
+    /// Row bounds make saturation cheaper than whole-row scanning: the
+    /// incremental engine's `word_ops` undercut the reference's, and the
+    /// skipped words account for real all-zero prefix/suffix words.
+    #[test]
+    fn incremental_word_ops_undercut_reference() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let loc = b.loc("o", "C.f");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(binder);
+        let mut tasks = Vec::new();
+        for i in 0..40 {
+            let t = b.task(format!("t{i}"));
+            b.post(binder, t, main);
+            tasks.push(t);
+        }
+        for t in tasks {
+            b.begin(main, t);
+            b.write(main, loc);
+            b.end(main, t);
+        }
+        let trace = b.finish();
+        let config = HbConfig::new();
+        let inc = HappensBefore::compute(&trace, config);
+        let rf = HappensBefore::compute_reference(&trace, config);
+        assert_eq!(inc.relation_matrices().0, rf.relation_matrices().0);
+        assert!(
+            inc.stats().word_ops < rf.stats().word_ops,
+            "incremental {} !< reference {}",
+            inc.stats().word_ops,
+            rf.stats().word_ops
+        );
+        assert!(inc.stats().skipped_words > 0);
+        assert!(inc.stats().worklist_pops > 0, "later rounds used the worklist");
+    }
+
+    #[test]
+    fn stats_absorb_sums_every_counter() {
+        let mut a = EngineStats {
+            base_edges: 1,
+            fifo_fired: 2,
+            nopre_fired: 3,
+            trans_st_edges: 4,
+            trans_mt_edges: 5,
+            rounds: 6,
+            word_ops: 7,
+            worklist_pops: 8,
+            rows_recomputed: 9,
+            skipped_words: 10,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            EngineStats {
+                base_edges: 2,
+                fifo_fired: 4,
+                nopre_fired: 6,
+                trans_st_edges: 8,
+                trans_mt_edges: 10,
+                rounds: 12,
+                word_ops: 14,
+                worklist_pops: 16,
+                rows_recomputed: 18,
+                skipped_words: 20,
+            }
+        );
     }
 
     /// NOPRE firing is counted separately from FIFO: a delayed first post

@@ -188,6 +188,56 @@ impl HbGraph {
     }
 }
 
+/// Direct-edge adjacency over graph nodes: forward successor lists plus the
+/// reverse predecessor lists the incremental closure uses for dirty-node
+/// propagation.
+///
+/// The closure engine stores *direct* edges here (base rules and generator
+/// firings, before transitive saturation). Edges always point forward in
+/// trace order, so `succs(a)` holds only ids `> a` and `preds(b)` only ids
+/// `< b`.
+#[derive(Debug, Clone, Default)]
+pub struct DirectEdges {
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl DirectEdges {
+    /// Creates an edgeless adjacency over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DirectEdges {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Records the direct edge `a → b`. The caller is responsible for
+    /// deduplication (the engine only pushes newly-set relation bits).
+    pub fn push(&mut self, a: NodeId, b: NodeId) {
+        debug_assert!(a < b, "HB edges point forward in trace order");
+        self.succ[a].push(b);
+        self.pred[b].push(a);
+        self.edges += 1;
+    }
+
+    /// Direct successors of `a`.
+    pub fn succs(&self, a: NodeId) -> &[NodeId] {
+        &self.succ[a]
+    }
+
+    /// Direct predecessors of `b`.
+    pub fn preds(&self, b: NodeId) -> &[NodeId] {
+        &self.pred[b]
+    }
+
+    /// Total number of recorded edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +337,20 @@ mod tests {
             g.nodes_of_thread(ThreadId(0)).len() + g.nodes_of_thread(ThreadId(1)).len(),
             g.node_count()
         );
+    }
+
+    #[test]
+    fn direct_edges_mirror_succ_and_pred() {
+        let mut e = DirectEdges::new(5);
+        assert_eq!(e.edge_count(), 0);
+        e.push(0, 3);
+        e.push(0, 4);
+        e.push(2, 3);
+        assert_eq!(e.succs(0), &[3, 4]);
+        assert_eq!(e.succs(1), &[] as &[NodeId]);
+        assert_eq!(e.preds(3), &[0, 2]);
+        assert_eq!(e.preds(0), &[] as &[NodeId]);
+        assert_eq!(e.edge_count(), 3);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use classify::{classify, RaceCategory};
 pub use coverage::{race_coverage, CoverageReport};
 pub use explain::{explain, to_dot};
 pub use engine::{EngineStats, HappensBefore};
-pub use graph::{HbGraph, Node, NodeId};
+pub use graph::{DirectEdges, HbGraph, Node, NodeId};
 pub use par::{analyze_all, analyze_all_with, default_threads, par_map};
 pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
