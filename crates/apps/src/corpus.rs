@@ -6,7 +6,8 @@ use std::fmt;
 
 use std::collections::BTreeSet;
 
-use droidracer_core::{par_map, Analysis, CategoryCounts, RaceCategory};
+use droidracer_core::{par_map, par_map_profiled, Analysis, AnalysisBuilder, CategoryCounts, RaceCategory};
+use droidracer_obs::SpanRecord;
 use droidracer_explorer::{enumerate_sequences, ExplorerConfig};
 use droidracer_framework::{compile, App, CompileError, UiEvent};
 use droidracer_sim::{run, RandomScheduler, SimConfig, SimError};
@@ -125,7 +126,12 @@ impl CorpusEntry {
     pub fn analyze(&self) -> Result<EntryReport, CorpusError> {
         let trace = self.generate_trace()?;
         let stats = TraceStats::of(&trace);
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
+        Ok(self.entry_report(stats, analysis))
+    }
+
+    /// Matches an analysis against the entry's ground truth.
+    fn entry_report(&self, stats: TraceStats, analysis: Analysis) -> EntryReport {
         let mut reported = CategoryCounts::default();
         let mut verified = CategoryCounts::default();
         let names = analysis.trace().names();
@@ -136,12 +142,12 @@ impl CorpusEntry {
                 verified.add(cr.category, 1);
             }
         }
-        Ok(EntryReport {
+        EntryReport {
             stats,
             reported,
             verified,
             analysis,
-        })
+        }
     }
 }
 
@@ -158,6 +164,43 @@ pub fn analyze_corpus_parallel(
     threads: usize,
 ) -> Vec<Result<EntryReport, CorpusError>> {
     par_map(entries, threads, CorpusEntry::analyze)
+}
+
+/// Like [`analyze_corpus_parallel`], additionally returning the campaign's
+/// span tree: a root `corpus` span with one child per entry (in corpus
+/// order for every thread count), each wrapping the entry's `generate`
+/// span and the full per-phase `analysis` subtree of its analysis session.
+pub fn analyze_corpus_profiled(
+    entries: &[CorpusEntry],
+    threads: usize,
+) -> (Vec<Result<EntryReport, CorpusError>>, SpanRecord) {
+    let (results, mut span) = par_map_profiled(entries, threads, "corpus", |entry, rec| {
+        rec.start(entry.name);
+        rec.start("generate");
+        let trace = entry.generate_trace();
+        rec.end();
+        let report = trace.map(|trace| {
+            let stats = TraceStats::of(&trace);
+            let analysis = AnalysisBuilder::new()
+                .clock_origin(rec.origin())
+                .analyze(&trace)
+                .expect("infallible without validation");
+            rec.adopt(analysis.spans().clone());
+            entry.entry_report(stats, analysis)
+        });
+        rec.end();
+        report
+    });
+    // The generic fan-out labels children `corpus[i]`; the entry name the
+    // worker recorded underneath is the useful label — hoist it.
+    for child in &mut span.children {
+        if let Some(named) = child.children.first() {
+            child.name = named.name.clone();
+            let inner = std::mem::take(&mut child.children);
+            child.children = inner.into_iter().next().map(|s| s.children).unwrap_or_default();
+        }
+    }
+    (results, span)
 }
 
 /// Summary of a full exploration of one app: every UI event sequence up to
@@ -204,6 +247,24 @@ impl CorpusEntry {
         max_sequences: usize,
         threads: usize,
     ) -> Result<ExplorationSummary, CorpusError> {
+        self.explore_profiled(depth, max_sequences, threads)
+            .map(|(summary, _)| summary)
+    }
+
+    /// Like [`CorpusEntry::explore_with_threads`], additionally returning
+    /// the campaign's span tree: a root `explore` span with one
+    /// `explore[i]` child per sequence (in enumeration order for every
+    /// thread count), each wrapping the sequence's full analysis subtree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] if any sequence fails to compile or simulate.
+    pub fn explore_profiled(
+        &self,
+        depth: usize,
+        max_sequences: usize,
+        threads: usize,
+    ) -> Result<(ExplorationSummary, SpanRecord), CorpusError> {
         let config = ExplorerConfig {
             max_depth: depth,
             max_sequences,
@@ -215,22 +276,33 @@ impl CorpusEntry {
             .enumerate()
             .collect();
         type TestOutcome = Result<(bool, Vec<(MemLoc, RaceCategory)>), CorpusError>;
-        let per_test = par_map(&sequences, threads, |(i, events)| -> TestOutcome {
-            let compiled = compile(&self.app, events)?;
-            let result = run(
-                &compiled.program,
-                &mut RandomScheduler::new(self.seed.wrapping_add(*i as u64)),
-                &SimConfig { max_steps: 600_000 },
-            )?;
-            let trace = strip_untracked(&result.trace);
-            let analysis = Analysis::run(&trace);
-            let pairs: Vec<(MemLoc, RaceCategory)> = analysis
-                .representatives()
-                .iter()
-                .map(|cr| (cr.race.loc, cr.category))
-                .collect();
-            Ok((!analysis.races().is_empty(), pairs))
-        });
+        let (per_test, span) =
+            par_map_profiled(&sequences, threads, "explore", |(i, events), rec| -> TestOutcome {
+                rec.start("simulate");
+                let outcome = compile(&self.app, events).map_err(CorpusError::from).and_then(|c| {
+                    run(
+                        &c.program,
+                        &mut RandomScheduler::new(self.seed.wrapping_add(*i as u64)),
+                        &SimConfig { max_steps: 600_000 },
+                    )
+                    .map_err(CorpusError::from)
+                });
+                rec.end();
+                let result = outcome?;
+                let trace = strip_untracked(&result.trace);
+                let analysis = AnalysisBuilder::new()
+                    .clock_origin(rec.origin())
+                    .analyze(&trace)
+                    .expect("infallible without validation");
+                rec.adopt(analysis.spans().clone());
+                rec.counter("races", analysis.races().len() as u64);
+                let pairs: Vec<(MemLoc, RaceCategory)> = analysis
+                    .representatives()
+                    .iter()
+                    .map(|cr| (cr.race.loc, cr.category))
+                    .collect();
+                Ok((!analysis.races().is_empty(), pairs))
+            });
         let mut tests = 0;
         let mut racy_tests = 0;
         let mut seen: BTreeSet<(MemLoc, RaceCategory)> = BTreeSet::new();
@@ -248,12 +320,15 @@ impl CorpusEntry {
             union.add(*cat, 1);
             locs.insert(*loc);
         }
-        Ok(ExplorationSummary {
-            tests,
-            racy_tests,
-            racy_locations: locs.len(),
-            union,
-        })
+        Ok((
+            ExplorationSummary {
+                tests,
+                racy_tests,
+                racy_locations: locs.len(),
+                union,
+            },
+            span,
+        ))
     }
 }
 

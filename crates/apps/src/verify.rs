@@ -9,7 +9,7 @@
 //! event orders), and reports whether the two racing accesses were ever
 //! observed in the opposite order.
 
-use droidracer_core::Analysis;
+use droidracer_core::AnalysisBuilder;
 use droidracer_framework::{compile, UiEvent};
 use droidracer_sim::{run, RandomScheduler, Scheduler, SimConfig, StallScheduler};
 use droidracer_trace::{OpKind, Trace};
@@ -98,7 +98,7 @@ pub fn verify_race(
     max_runs: usize,
 ) -> Result<VerifyOutcome, CorpusError> {
     let baseline = entry.generate_trace()?;
-    let analysis = Analysis::run(&baseline);
+    let analysis = AnalysisBuilder::new().analyze(&baseline).unwrap();
     let Some(race) = analysis.representatives().into_iter().find(|cr| {
         analysis
             .trace()

@@ -3,7 +3,7 @@
 //! reordering-based verifier agrees with the planted true/false annotation.
 
 use droidracer_apps::{verify_race, CorpusEntry, MotifBuilder, PaperRow, RaceCategory, VerifyOutcome};
-use droidracer_core::Analysis;
+use droidracer_core::{Analysis, AnalysisBuilder};
 
 fn entry(m: MotifBuilder) -> CorpusEntry {
     let (app, events, truth) = m.finish();
@@ -22,7 +22,7 @@ fn entry(m: MotifBuilder) -> CorpusEntry {
 /// intended category, with nothing extra.
 fn assert_planted(entry: &CorpusEntry, expected: usize, category: RaceCategory) -> Analysis {
     let trace = entry.generate_trace().expect("entry runs");
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     let reps = analysis.representatives();
     assert_eq!(reps.len(), expected, "{}", analysis.render());
     let names = analysis.trace().names();
@@ -148,7 +148,7 @@ fn safe_sync_motif_trips_the_async_only_baseline() {
     m.safe_sync(6, 4);
     let e = entry(m);
     let trace = e.generate_trace().expect("runs");
-    let baseline = Analysis::run_mode(&trace, HbMode::AsyncOnly);
+    let baseline = AnalysisBuilder::new().mode(HbMode::AsyncOnly).analyze(&trace).unwrap();
     assert_eq!(
         baseline.representatives().len(),
         6,
@@ -163,8 +163,8 @@ fn cross_posted_true_races_vanish_under_naive_combination() {
     m.cross_posted_races(3, 0);
     let e = entry(m);
     let trace = e.generate_trace().expect("runs");
-    assert_eq!(Analysis::run(&trace).representatives().len(), 3);
-    let naive = Analysis::run_mode(&trace, HbMode::NaiveCombined);
+    assert_eq!(AnalysisBuilder::new().analyze(&trace).unwrap().representatives().len(), 3);
+    let naive = AnalysisBuilder::new().mode(HbMode::NaiveCombined).analyze(&trace).unwrap();
     assert_eq!(
         naive.representatives().len(),
         0,
@@ -178,7 +178,7 @@ fn lifecycle_flag_motif_reproduces_figure_4() {
     let field = m.lifecycle_flag_race(true);
     let e = entry(m);
     let trace = e.generate_trace().expect("runs");
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     // Depending on download progress at BACK time, the flag race shows up
     // multithreaded and/or cross-posted.
     let on_flag: Vec<_> = analysis

@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use droidracer_apps::{aard_dictionary, messenger, music_player, my_tracks};
-use droidracer_core::{vc, Analysis, HappensBefore, HbConfig, HbGraph, HbMode};
+use droidracer_core::{vc, AnalysisBuilder, HappensBefore, HbConfig, HbGraph, HbMode};
 use droidracer_trace::Trace;
 
 fn corpus_traces() -> Vec<(&'static str, Trace)> {
@@ -58,7 +58,7 @@ fn bench_detection(c: &mut Criterion) {
     group.sample_size(20);
     for (name, trace) in &traces {
         group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
-            b.iter(|| black_box(Analysis::run(t).races().len()))
+            b.iter(|| black_box(AnalysisBuilder::new().analyze(t).unwrap().races().len()))
         });
     }
     group.finish();
@@ -69,7 +69,7 @@ fn bench_mt_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("mt_baselines");
     group.sample_size(20);
     group.bench_function("graph_mt_only", |b| {
-        b.iter(|| black_box(Analysis::run_mode(&trace, HbMode::MultithreadedOnly).races().len()))
+        b.iter(|| black_box(AnalysisBuilder::new().mode(HbMode::MultithreadedOnly).analyze(&trace).unwrap().races().len()))
     });
     group.bench_function("vector_clock", |b| {
         b.iter(|| black_box(vc::detect_multithreaded(&trace).len()))

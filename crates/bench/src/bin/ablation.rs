@@ -18,7 +18,7 @@
 
 use droidracer_apps::open_source_corpus;
 use droidracer_bench::TextTable;
-use droidracer_core::{vc, Analysis, HbMode, RaceCategory};
+use droidracer_core::{vc, AnalysisBuilder, HbMode, RaceCategory};
 
 fn main() {
     let mut table = TextTable::new([
@@ -44,7 +44,7 @@ fn main() {
         };
         let mut row = vec![entry.name.to_owned()];
         for (i, mode) in HbMode::all().iter().enumerate() {
-            let analysis = Analysis::run_mode(&trace, *mode);
+            let analysis = AnalysisBuilder::new().mode(*mode).analyze(&trace).unwrap();
             let n = analysis.representatives().len();
             totals[i] += n;
             if *mode == HbMode::MultithreadedOnly {

@@ -7,7 +7,7 @@
 
 use droidracer_apps::open_source_corpus;
 use droidracer_bench::TextTable;
-use droidracer_core::{race_coverage, Analysis};
+use droidracer_core::{race_coverage, AnalysisBuilder};
 
 fn main() {
     let mut table = TextTable::new(["Application", "Reports", "Root causes", "Covered"]);
@@ -20,7 +20,7 @@ fn main() {
                 continue;
             }
         };
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
         let report = race_coverage(&analysis);
         table.row([
             entry.name.to_owned(),

@@ -16,7 +16,7 @@
 //!
 //! Run with `cargo run --release -p droidracer-bench --bin fig3_fig4`.
 
-use droidracer_core::{Analysis, RaceCategory};
+use droidracer_core::{Analysis, AnalysisBuilder, RaceCategory};
 use droidracer_framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer_sim::{run, RandomScheduler, SimConfig};
 use droidracer_trace::{ThreadKind, Trace, TraceBuilder, validate};
@@ -98,7 +98,7 @@ fn main() {
     println!("=== Figure 3: the user presses PLAY ===");
     let fig3 = paper_trace(false);
     validate(&fig3).expect("Figure 3 trace is feasible");
-    let analysis = Analysis::run(&fig3);
+    let analysis = AnalysisBuilder::new().analyze(&fig3).unwrap();
     println!("trace:\n{fig3}");
     println!(
         "happens-before edges of the figure: a (fork→init) {}, b (post→begin) {}, c (end LAUNCH ≺ begin onPostExecute) {}, d (enable→post onPlayClick) {}, e (enable→post onPause) {}",
@@ -115,7 +115,7 @@ fn main() {
     println!("=== Figure 4: the user presses BACK ===");
     let fig4 = paper_trace(true);
     validate(&fig4).expect("Figure 4 trace is feasible");
-    let analysis = Analysis::run(&fig4);
+    let analysis = AnalysisBuilder::new().analyze(&fig4).unwrap();
     println!("trace:\n{fig4}");
     check(&analysis, "bg read vs onDestroy write", 12, 21);
     check(&analysis, "onPostExecute read vs onDestroy write", 16, 21);
@@ -151,7 +151,7 @@ fn main() {
             &SimConfig::default(),
         )
         .expect("runs");
-        let analysis = Analysis::run(&result.trace);
+        let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
         let mt = analysis.count(RaceCategory::Multithreaded);
         let xp = analysis.count(RaceCategory::CrossPosted);
         println!(

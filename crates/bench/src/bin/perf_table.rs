@@ -10,8 +10,9 @@
 use std::time::Instant;
 
 use droidracer_apps::corpus;
-use droidracer_bench::{engine_stats_table, TextTable};
-use droidracer_core::{analyze_all, default_threads, par_map, HappensBefore, HbConfig};
+use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
+use droidracer_core::{analyze_all_profiled, default_threads, par_map, HappensBefore, HbConfig};
+use droidracer_obs::MetricsRegistry;
 use droidracer_trace::Trace;
 
 /// Rough memory footprint of the closed relation: two N×N bit matrices.
@@ -49,7 +50,11 @@ fn main() {
         }
     }
     let plain_traces: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
-    let analyses = analyze_all(&plain_traces, default_threads());
+    let (analyses, span) = analyze_all_profiled(&plain_traces, default_threads(), HbConfig::new());
+    let mut registry = MetricsRegistry::new();
+    for analysis in &analyses {
+        registry.absorb(&analysis.metrics());
+    }
     for ((name, trace), analysis) in traces.iter().zip(&analyses) {
         let graph = analysis.hb().graph();
         let ratio = graph.reduction_ratio();
@@ -112,4 +117,5 @@ fn main() {
             );
         }
     }
+    maybe_export_profile(&span, &registry);
 }

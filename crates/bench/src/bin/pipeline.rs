@@ -18,8 +18,12 @@
 use std::time::Instant;
 
 use droidracer_apps::corpus;
-use droidracer_bench::{engine_stats_table, TextTable};
-use droidracer_core::{analyze_all, default_threads, par_map, Analysis, EngineStats};
+use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
+use droidracer_core::{
+    analyze_all, analyze_all_profiled, default_threads, par_map, Analysis, AnalysisBuilder,
+    EngineStats, HbConfig,
+};
+use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
 use droidracer_trace::Trace;
 
 /// One measured sweep point.
@@ -66,10 +70,10 @@ fn main() {
     let repeats = 3;
     // Sequential baseline: the plain per-trace loop, no pool at all.
     let mut baseline = f64::MAX;
-    let mut reference: Vec<Analysis> = traces.iter().map(Analysis::run).collect();
+    let mut reference: Vec<Analysis> = traces.iter().map(|t| AnalysisBuilder::new().analyze(t).unwrap()).collect();
     for _ in 0..repeats {
         let start = Instant::now();
-        reference = traces.iter().map(Analysis::run).collect();
+        reference = traces.iter().map(|t| AnalysisBuilder::new().analyze(t).unwrap()).collect();
         baseline = baseline.min(start.elapsed().as_secs_f64());
     }
 
@@ -115,6 +119,25 @@ fn main() {
     println!("{}", table.render());
     println!("(all parallel runs verified bit-identical to the sequential reports)\n");
 
+    // Aggregate corpus metrics: absorbing each analysis' registry sums the
+    // deterministic counters across apps.
+    let mut registry = MetricsRegistry::new();
+    for analysis in &reference {
+        registry.absorb(&analysis.metrics());
+    }
+
+    // Profile determinism check: the exported span structure — not just the
+    // reports — must be bit-identical across thread counts once the
+    // wall-clock fields are stripped.
+    let (_, span1) = analyze_all_profiled(&traces, 1, HbConfig::new());
+    let stripped = strip_wall_clock(&chrome_trace(std::slice::from_ref(&span1), &registry));
+    for threads in [2usize, 8] {
+        let (_, span) = analyze_all_profiled(&traces, threads, HbConfig::new());
+        let other = strip_wall_clock(&chrome_trace(std::slice::from_ref(&span), &registry));
+        assert_eq!(stripped, other, "{threads}-thread profile diverged");
+    }
+    println!("(exported profiles verified bit-identical at 1/2/8 threads, modulo wall-clock)\n");
+
     println!("Happens-before engine hot-path counters:");
     let stats_rows: Vec<(&str, &EngineStats)> = names
         .iter()
@@ -126,26 +149,35 @@ fn main() {
         engine_stats_table(stats_rows.iter().map(|&(n, s)| (n, s))).render()
     );
 
-    let json = render_json(&traces, baseline, &samples, &stats_rows);
+    let json = render_json(&traces, baseline, &samples, &stats_rows, &registry);
     let path = "BENCH_pipeline.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
-    enforce_word_ops_budget(&stats_rows);
+    maybe_export_profile(&span1, &registry);
+    enforce_word_ops_budget(&stats_rows, &registry);
 }
 
 /// Fails (exit 1) if the corpus-total `word_ops` regresses above the
 /// checked-in budget. `BLESS=1` rewrites the budget file instead. The
 /// counter is fully deterministic, so the budget is an exact ceiling, not a
 /// noisy timing threshold.
-fn enforce_word_ops_budget(stats: &[(&str, &EngineStats)]) {
+fn enforce_word_ops_budget(stats: &[(&str, &EngineStats)], registry: &MetricsRegistry) {
     let budget_path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../tests/data/wordops_budget.txt"
     );
     let total: u64 = stats.iter().map(|(_, s)| s.word_ops).sum();
+    // The metrics registry must expose the exact same engine counters as the
+    // raw EngineStats path — the budget is enforced through the registry to
+    // keep the two views honest.
+    assert_eq!(
+        registry.counter("hb.word_ops"),
+        Some(total),
+        "MetricsRegistry word_ops diverged from EngineStats"
+    );
     if std::env::var("BLESS").is_ok() {
         let content = format!(
             "# Corpus-total happens-before `word_ops` budget, enforced by the\n\
@@ -197,6 +229,7 @@ fn render_json(
     baseline: f64,
     samples: &[Sample],
     stats: &[(&str, &EngineStats)],
+    registry: &MetricsRegistry,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -241,6 +274,8 @@ fn render_json(
             if i + 1 < stats.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"metrics\": {}\n", registry.to_json()));
+    out.push_str("}\n");
     out
 }

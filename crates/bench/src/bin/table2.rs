@@ -6,8 +6,9 @@
 //! Run with `cargo run --release -p droidracer-bench --bin table2`.
 
 use droidracer_apps::corpus;
-use droidracer_bench::{vs, TextTable};
-use droidracer_core::{default_threads, par_map};
+use droidracer_bench::{maybe_export_profile, vs, TextTable};
+use droidracer_core::{default_threads, par_map_profiled};
+use droidracer_obs::MetricsRegistry;
 use droidracer_trace::TraceStats;
 
 fn main() {
@@ -23,7 +24,14 @@ fn main() {
     println!("(measured on the synthetic corpus; paper-reported numbers in parentheses)\n");
     // Trace generation is per-entry work: fan it out, render in corpus order.
     let entries = corpus();
-    let traces = par_map(&entries, default_threads(), |entry| entry.generate_trace());
+    let (traces, span) = par_map_profiled(&entries, default_threads(), "generate", |entry, rec| {
+        let trace = entry.generate_trace();
+        if let Ok(t) = &trace {
+            rec.counter("ops", t.len() as u64);
+        }
+        trace
+    });
+    let mut registry = MetricsRegistry::new();
     let mut was_open_source = true;
     for (entry, trace) in entries.iter().zip(traces) {
         if was_open_source && !entry.open_source {
@@ -38,6 +46,9 @@ fn main() {
             }
         };
         let stats = TraceStats::of(&trace);
+        registry.counter_add("trace.ops", stats.trace_length as u64);
+        registry.counter_add("trace.fields", stats.fields as u64);
+        registry.counter_add("trace.async_tasks", stats.async_tasks as u64);
         let p = &entry.paper;
         let name = match p.loc {
             Some(loc) => format!("{} ({loc})", entry.name),
@@ -53,4 +64,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    maybe_export_profile(&span, &registry);
 }

@@ -5,9 +5,10 @@
 //!
 //! Run with `cargo run --release -p droidracer-bench --bin table3`.
 
-use droidracer_apps::{analyze_corpus_parallel, corpus, RaceCategory};
-use droidracer_bench::{xy, TextTable};
+use droidracer_apps::{analyze_corpus_profiled, corpus, RaceCategory};
+use droidracer_bench::{maybe_export_profile, xy, TextTable};
 use droidracer_core::{default_threads, CategoryCounts};
+use droidracer_obs::MetricsRegistry;
 
 fn main() {
     let mut table = TextTable::new([
@@ -28,7 +29,8 @@ fn main() {
     // Analyze the whole corpus in parallel; reports come back in corpus
     // order, so the rendered table is identical to the sequential one.
     let entries = corpus();
-    let reports = analyze_corpus_parallel(&entries, default_threads());
+    let (reports, span) = analyze_corpus_profiled(&entries, default_threads());
+    let mut registry = MetricsRegistry::new();
     for (entry, report) in entries.iter().zip(reports) {
         if was_open_source && !entry.open_source {
             table.rule();
@@ -41,6 +43,8 @@ fn main() {
                 continue;
             }
         };
+        registry.counter_add("races.reported", report.reported.total() as u64);
+        registry.counter_add("races.verified", report.verified.total() as u64);
         if entry.open_source {
             total_open = total_open.merged(&report.reported);
             total_open_true = total_open_true.merged(&report.verified);
@@ -77,4 +81,5 @@ fn main() {
         total_prop
     );
     println!("\ndiag column: +unplanned reports / ~category mismatches vs planted ground truth");
+    maybe_export_profile(&span, &registry);
 }

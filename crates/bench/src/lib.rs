@@ -10,6 +10,24 @@
 use std::fmt::Display;
 
 use droidracer_core::EngineStats;
+use droidracer_obs::{chrome_trace, render_span_tree, MetricsRegistry, SpanRecord};
+
+/// Exports a bench run's profile when the `DR_PROFILE` environment variable
+/// names an output path: writes the Chrome `trace_event` JSON there and
+/// prints the span tree. A no-op when the variable is unset, so every bench
+/// binary can call this unconditionally.
+pub fn maybe_export_profile(span: &SpanRecord, metrics: &MetricsRegistry) {
+    let Ok(path) = std::env::var("DR_PROFILE") else {
+        return;
+    };
+    match std::fs::write(&path, chrome_trace(std::slice::from_ref(span), metrics)) {
+        Ok(()) => {
+            print!("{}", render_span_tree(span));
+            println!("profile written to {path}");
+        }
+        Err(e) => eprintln!("could not write profile {path}: {e}"),
+    }
+}
 
 /// A simple fixed-width text table.
 #[derive(Debug, Default)]

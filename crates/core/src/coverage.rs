@@ -94,6 +94,7 @@ pub fn race_coverage(analysis: &Analysis) -> CoverageReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisBuilder;
     use droidracer_trace::{ThreadKind, TraceBuilder};
 
     /// The canonical ad-hoc synchronization shape: producer writes data then
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn flag_race_covers_data_race() {
-        let analysis = Analysis::run(&adhoc_flag_trace());
+        let analysis = AnalysisBuilder::new().analyze(&adhoc_flag_trace()).unwrap();
         assert_eq!(analysis.representatives().len(), 2);
         let report = race_coverage(&analysis);
         assert_eq!(report.roots.len(), 1, "one root cause");
@@ -147,7 +148,7 @@ mod tests {
         b.read(main, x);
         b.write(main, y);
         b.read(bg, y);
-        let analysis = Analysis::run(&b.finish());
+        let analysis = AnalysisBuilder::new().analyze(&b.finish()).unwrap();
         assert_eq!(analysis.representatives().len(), 2);
         let report = race_coverage(&analysis);
         // x races (bg→main) and y races (main→bg): assuming one edge does
@@ -158,7 +159,7 @@ mod tests {
 
     #[test]
     fn covered_race_attributes_a_single_root_when_possible() {
-        let analysis = Analysis::run(&adhoc_flag_trace());
+        let analysis = AnalysisBuilder::new().analyze(&adhoc_flag_trace()).unwrap();
         let report = race_coverage(&analysis);
         for (_, root) in &report.covered {
             // In the two-race flag scenario the cover is a single root.
@@ -174,7 +175,7 @@ mod tests {
         b.thread_init(main);
         b.write(main, loc);
         b.read(main, loc);
-        let analysis = Analysis::run(&b.finish());
+        let analysis = AnalysisBuilder::new().analyze(&b.finish()).unwrap();
         let report = race_coverage(&analysis);
         assert_eq!(report.total(), 0);
     }

@@ -155,6 +155,22 @@ impl HappensBefore {
         Self::compute_inner(trace, &index, config, &[], true)
     }
 
+    /// Computes the relation over a prebuilt [`HbGraph`], so callers that
+    /// time or otherwise observe the pipeline can separate graph
+    /// construction (+ §6 node merging) from the fixpoint closure.
+    ///
+    /// `graph` must have been built from `trace`/`index` with the same
+    /// `merge_accesses` setting as `config` — `Analysis` guarantees this;
+    /// ad-hoc callers should prefer [`HappensBefore::compute`].
+    pub fn compute_on_graph(
+        trace: &Trace,
+        index: &TraceIndex,
+        graph: HbGraph,
+        config: HbConfig,
+    ) -> Self {
+        Self::close_over(trace, index, config, &[], false, graph)
+    }
+
     fn compute_inner(
         trace: &Trace,
         index: &TraceIndex,
@@ -167,6 +183,17 @@ impl HappensBefore {
         // blocks the assumption says nothing about.
         let breaks: Vec<usize> = assumed.iter().flat_map(|&(i, j)| [i, j]).collect();
         let graph = HbGraph::build_with_breaks(trace, index, config.merge_accesses, &breaks);
+        Self::close_over(trace, index, config, assumed, reference, graph)
+    }
+
+    fn close_over(
+        trace: &Trace,
+        index: &TraceIndex,
+        config: HbConfig,
+        assumed: &[(usize, usize)],
+        reference: bool,
+        graph: HbGraph,
+    ) -> Self {
         let mut builder = EngineState::new(trace, index, &graph, config.rules, reference);
         builder.add_base_edges();
         for &(i, j) in assumed {

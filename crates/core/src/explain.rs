@@ -181,6 +181,7 @@ pub fn to_dot(analysis: &Analysis) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::AnalysisBuilder;
     use droidracer_trace::{ThreadKind, TraceBuilder};
 
     fn racy_analysis() -> Analysis {
@@ -193,7 +194,7 @@ mod tests {
         b.thread_init(bg);
         b.write(bg, loc);
         b.read(main, loc);
-        Analysis::run(&b.finish())
+        AnalysisBuilder::new().analyze(&b.finish()).unwrap()
     }
 
     #[test]
@@ -229,7 +230,7 @@ mod tests {
         b.begin(main, t2);
         b.write(main, loc);
         b.end(main, t2);
-        let analysis = Analysis::run(&b.finish());
+        let analysis = AnalysisBuilder::new().analyze(&b.finish()).unwrap();
         let race = analysis.races()[0].race;
         let text = explain(&analysis, &race);
         assert!(text.contains("posting chain"), "{text}");

@@ -17,7 +17,7 @@
 //!
 //! ```
 //! use droidracer_trace::{TraceBuilder, ThreadKind};
-//! use droidracer_core::{Analysis, RaceCategory};
+//! use droidracer_core::{AnalysisBuilder, RaceCategory};
 //!
 //! // The BACK-button scenario of the paper's §2 in miniature: an activity
 //! // launch writes a flag, a background task reads it, and onDestroy —
@@ -48,7 +48,7 @@
 //! b.write(main, flag);
 //! b.end(main, destroy);
 //!
-//! let analysis = Analysis::run(&b.finish());
+//! let analysis = AnalysisBuilder::new().analyze(&b.finish()).unwrap();
 //! // The bg read races with onDestroy's write (multi-threaded), but the
 //! // launch write does not race with onDestroy thanks to the enable edge.
 //! assert_eq!(analysis.count(RaceCategory::Multithreaded), 1);
@@ -68,6 +68,7 @@ pub mod par;
 mod race;
 mod report;
 mod rules;
+mod session;
 pub mod vc;
 
 pub use classify::{classify, RaceCategory};
@@ -75,7 +76,11 @@ pub use coverage::{race_coverage, CoverageReport};
 pub use explain::{explain, to_dot};
 pub use engine::{EngineStats, HappensBefore};
 pub use graph::{DirectEdges, HbGraph, Node, NodeId};
-pub use par::{analyze_all, analyze_all_with, default_threads, par_map};
+pub use par::{
+    analyze_all, analyze_all_profiled, analyze_all_with, default_threads, par_map,
+    par_map_profiled,
+};
 pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
 pub use rules::{HbConfig, HbMode, RuleSet};
+pub use session::{AnalysisBuilder, AnalysisError};

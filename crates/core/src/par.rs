@@ -30,11 +30,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use droidracer_obs::{Recorder, SpanRecord};
 use droidracer_trace::Trace;
 
 use crate::report::Analysis;
 use crate::rules::HbConfig;
+use crate::session::AnalysisBuilder;
 
 /// A sensible worker count for this machine: the available hardware
 /// parallelism, or 1 if it cannot be determined.
@@ -93,6 +96,46 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map`] with per-item span recording: every worker records its
+/// item's subtree on a clock shared across the whole fan-out, and the
+/// subtrees are merged — like the results — by input index under a parent
+/// span named `label`.
+///
+/// Each item `i` gets a span `label[i]` wrapping whatever `f` records; `f`
+/// receives a [`Recorder`] already inside that span. Because the merge
+/// order is the input order and the recorders share one clock origin, the
+/// *structure* of the returned [`SpanRecord`] (names, nesting, counters) is
+/// identical for every thread count — only `start_ns`/`dur_ns` vary.
+pub fn par_map_profiled<T, R, F>(
+    items: &[T],
+    threads: usize,
+    label: &str,
+    f: F,
+) -> (Vec<R>, SpanRecord)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut Recorder) -> R + Sync,
+{
+    let origin = Instant::now();
+    let profiled = par_map(items, threads, |item| {
+        let mut rec = Recorder::with_origin(origin);
+        rec.start(label.to_owned());
+        let result = f(item, &mut rec);
+        (result, rec.finish_root())
+    });
+    let mut parent = SpanRecord::leaf(label);
+    parent.counters.push(("items".to_owned(), items.len() as u64));
+    let mut results = Vec::with_capacity(profiled.len());
+    for (i, (result, mut span)) in profiled.into_iter().enumerate() {
+        span.name = format!("{label}[{i}]");
+        parent.dur_ns = parent.dur_ns.max(span.start_ns + span.dur_ns);
+        parent.children.push(span);
+        results.push(result);
+    }
+    (results, parent)
+}
+
 /// Analyzes a batch of traces in parallel with the paper's full
 /// configuration, preserving input order.
 pub fn analyze_all(traces: &[Trace], threads: usize) -> Vec<Analysis> {
@@ -102,7 +145,31 @@ pub fn analyze_all(traces: &[Trace], threads: usize) -> Vec<Analysis> {
 /// Analyzes a batch of traces in parallel under an explicit configuration,
 /// preserving input order.
 pub fn analyze_all_with(traces: &[Trace], threads: usize, config: HbConfig) -> Vec<Analysis> {
-    par_map(traces, threads, |trace| Analysis::run_with(trace, config))
+    par_map(traces, threads, |trace| {
+        AnalysisBuilder::new()
+            .config(config)
+            .analyze(trace)
+            .expect("infallible without validation")
+    })
+}
+
+/// [`analyze_all_with`] plus a merged profile: the returned span tree has
+/// one `analyze[i]` child per trace (in input order, regardless of thread
+/// count), each containing that analysis' full phase subtree.
+pub fn analyze_all_profiled(
+    traces: &[Trace],
+    threads: usize,
+    config: HbConfig,
+) -> (Vec<Analysis>, SpanRecord) {
+    par_map_profiled(traces, threads, "analyze", |trace, rec| {
+        let analysis = AnalysisBuilder::new()
+            .config(config)
+            .clock_origin(rec.origin())
+            .analyze(trace)
+            .expect("infallible without validation");
+        rec.adopt(analysis.spans().clone());
+        analysis
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +240,10 @@ mod tests {
             b.read(main, loc);
             traces.push(b.finish());
         }
-        let sequential: Vec<Analysis> = traces.iter().map(Analysis::run).collect();
+        let sequential: Vec<Analysis> = traces
+            .iter()
+            .map(|t| AnalysisBuilder::new().analyze(t).expect("runs"))
+            .collect();
         for threads in [1, 2, 8] {
             let parallel = analyze_all(&traces, threads);
             assert_eq!(parallel.len(), sequential.len());
@@ -189,5 +259,49 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn profiled_fan_out_has_identical_structure_across_thread_counts() {
+        use droidracer_trace::{ThreadKind, TraceBuilder};
+        let mut traces = Vec::new();
+        for k in 0..5 {
+            let mut b = TraceBuilder::new();
+            let main = b.thread("main", ThreadKind::Main, true);
+            let bg = b.thread("bg", ThreadKind::App, false);
+            let loc = b.loc("obj", "C.state");
+            b.thread_init(main);
+            b.fork(main, bg);
+            b.thread_init(bg);
+            for _ in 0..=k {
+                b.write(bg, loc);
+            }
+            b.read(main, loc);
+            traces.push(b.finish());
+        }
+        let (_, base) = analyze_all_profiled(&traces, 1, HbConfig::new());
+        assert_eq!(base.children.len(), traces.len());
+        assert_eq!(base.children[0].name, "analyze[0]");
+        assert!(base.children[0].find("closure").is_some());
+        for threads in [2, 8] {
+            let (_, span) = analyze_all_profiled(&traces, threads, HbConfig::new());
+            assert_eq!(span.structure(), base.structure(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_profiled_wraps_worker_spans() {
+        let items: Vec<u32> = (0..7).collect();
+        let (results, span) = par_map_profiled(&items, 3, "work", |&x, rec| {
+            rec.counter("x", x as u64);
+            x * 2
+        });
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12]);
+        assert_eq!(span.name, "work");
+        assert_eq!(span.children.len(), 7);
+        for (i, child) in span.children.iter().enumerate() {
+            assert_eq!(child.name, format!("work[{i}]"));
+            assert_eq!(child.counters, vec![("x".to_owned(), i as u64)]);
+        }
     }
 }

@@ -1,16 +1,22 @@
 //! End-to-end analysis: happens-before + detection + classification, with
 //! Table 3-style reporting.
+//!
+//! Sessions are started through [`AnalysisBuilder`](crate::AnalysisBuilder);
+//! the legacy `Analysis::run*` constructors remain as deprecated shims.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use droidracer_obs::{MetricsRegistry, SpanRecord};
 use droidracer_trace::{MemLoc, Trace};
 
-use crate::classify::{classify, RaceCategory};
+use crate::classify::RaceCategory;
+use crate::coverage::CoverageReport;
 use crate::engine::HappensBefore;
-use crate::race::{detect, Race};
+use crate::race::Race;
 use crate::rules::{HbConfig, HbMode};
+use crate::session::AnalysisBuilder;
 
 /// Wall-clock time spent in each stage of one [`Analysis`] run.
 ///
@@ -21,8 +27,10 @@ use crate::rules::{HbConfig, HbMode};
 pub struct AnalysisTiming {
     /// Stripping cancelled posts and building the trace index.
     pub prepare: Duration,
-    /// Happens-before graph construction plus the fixpoint closure.
-    pub happens_before: Duration,
+    /// Happens-before graph construction (including §6 node merging).
+    pub graph: Duration,
+    /// The happens-before fixpoint closure.
+    pub closure: Duration,
     /// Race detection over unordered conflicting block pairs.
     pub detect: Duration,
     /// Race classification (§4.3 categories).
@@ -30,9 +38,15 @@ pub struct AnalysisTiming {
 }
 
 impl AnalysisTiming {
+    /// Combined graph-construction + closure time (the two stages were one
+    /// field before the stage split; kept for reporting continuity).
+    pub fn happens_before(&self) -> Duration {
+        self.graph + self.closure
+    }
+
     /// Total wall-clock time across all stages.
     pub fn total(&self) -> Duration {
-        self.prepare + self.happens_before + self.detect + self.classify
+        self.prepare + self.graph + self.closure + self.detect + self.classify
     }
 }
 
@@ -45,14 +59,29 @@ pub struct ClassifiedRace {
     pub category: RaceCategory,
 }
 
+/// One representative race per `(location, category)` pair — the reporting
+/// granularity of Table 3 ("if there are multiple races belonging to the
+/// same category on the same memory location, DroidRacer reports any one of
+/// them").
+pub(crate) fn representatives_of(races: &[ClassifiedRace]) -> Vec<ClassifiedRace> {
+    let mut seen: HashMap<(MemLoc, RaceCategory), ClassifiedRace> = HashMap::new();
+    for cr in races {
+        seen.entry((cr.race.loc, cr.category)).or_insert(*cr);
+    }
+    let mut reps: Vec<ClassifiedRace> = seen.into_values().collect();
+    reps.sort_by_key(|cr| (cr.race.loc, cr.category, cr.race.first, cr.race.second));
+    reps
+}
+
 /// The result of analyzing one trace: the (cancellation-stripped) trace, the
-/// happens-before relation, and the classified races.
+/// happens-before relation, the classified races, and the session's
+/// observability record (phase spans + engine metrics).
 ///
 /// # Examples
 ///
 /// ```
 /// use droidracer_trace::{TraceBuilder, ThreadKind};
-/// use droidracer_core::Analysis;
+/// use droidracer_core::AnalysisBuilder;
 ///
 /// let mut b = TraceBuilder::new();
 /// let main = b.thread("main", ThreadKind::Main, true);
@@ -64,7 +93,7 @@ pub struct ClassifiedRace {
 /// b.write(bg, loc);
 /// b.read(main, loc);
 ///
-/// let analysis = Analysis::run(&b.finish());
+/// let analysis = AnalysisBuilder::new().analyze(&b.finish()).unwrap();
 /// assert_eq!(analysis.races().len(), 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -73,52 +102,75 @@ pub struct Analysis {
     hb: HappensBefore,
     races: Vec<ClassifiedRace>,
     timing: AnalysisTiming,
+    spans: SpanRecord,
+    coverage: Option<CoverageReport>,
+    explanations: Vec<String>,
 }
 
 impl Analysis {
     /// Analyzes `trace` with the paper's full configuration.
+    #[deprecated(since = "0.1.0", note = "use `AnalysisBuilder::new().analyze(trace)`")]
     pub fn run(trace: &Trace) -> Self {
-        Self::run_with(trace, HbConfig::new())
+        AnalysisBuilder::new()
+            .analyze(trace)
+            .expect("infallible without validation")
     }
 
     /// Analyzes `trace` under a baseline mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `AnalysisBuilder::new().mode(mode).analyze(trace)`"
+    )]
     pub fn run_mode(trace: &Trace, mode: HbMode) -> Self {
-        Self::run_with(trace, HbConfig::for_mode(mode))
+        AnalysisBuilder::new()
+            .mode(mode)
+            .analyze(trace)
+            .expect("infallible without validation")
     }
 
     /// Analyzes `trace` with an explicit configuration. Cancelled posts are
     /// stripped first (§4.2); the race indices refer to the stripped trace,
     /// available as [`Analysis::trace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `AnalysisBuilder::new().config(config).analyze(trace)`"
+    )]
     pub fn run_with(trace: &Trace, config: HbConfig) -> Self {
-        let mut timing = AnalysisTiming::default();
-        let start = Instant::now();
-        let trace = trace.without_cancelled();
-        let index = trace.index();
-        timing.prepare = start.elapsed();
+        AnalysisBuilder::new()
+            .config(config)
+            .analyze(trace)
+            .expect("infallible without validation")
+    }
 
-        let start = Instant::now();
-        let hb = HappensBefore::compute_with_index(&trace, &index, config);
-        timing.happens_before = start.elapsed();
-
-        let start = Instant::now();
-        let raw = detect(&trace, &hb);
-        timing.detect = start.elapsed();
-
-        let start = Instant::now();
-        let races = raw
-            .into_iter()
-            .map(|race| ClassifiedRace {
-                category: classify(&trace, &index, &hb, &race),
-                race,
-            })
-            .collect();
-        timing.classify = start.elapsed();
+    /// Assembles a result from the pipeline stages (used by the builder;
+    /// spans default to an empty placeholder until the session closes).
+    pub(crate) fn assemble(
+        trace: Trace,
+        hb: HappensBefore,
+        races: Vec<ClassifiedRace>,
+        timing: AnalysisTiming,
+    ) -> Self {
         Analysis {
             trace,
             hb,
             races,
             timing,
+            spans: SpanRecord::leaf("analysis"),
+            coverage: None,
+            explanations: Vec::new(),
         }
+    }
+
+    pub(crate) fn set_spans(&mut self, spans: SpanRecord) {
+        self.spans = spans;
+    }
+
+    pub(crate) fn set_coverage(&mut self, coverage: CoverageReport) {
+        self.coverage = Some(coverage);
+    }
+
+    pub(crate) fn set_explanations(&mut self, explanations: Vec<String>) {
+        self.explanations = explanations;
     }
 
     /// The analyzed trace (after cancellation stripping).
@@ -137,6 +189,54 @@ impl Analysis {
         &self.timing
     }
 
+    /// The session's phase span tree (root `analysis`, children per pipeline
+    /// stage). Span *structure* — names, nesting, counters — is
+    /// deterministic; only `start_ns`/`dur_ns` carry wall-clock values.
+    pub fn spans(&self) -> &SpanRecord {
+        &self.spans
+    }
+
+    /// The session's metrics: every engine counter, graph/trace sizes, and
+    /// per-category race counts as deterministic counters, plus the total
+    /// wall-clock time as a gauge.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("trace.ops", self.trace.len() as u64);
+        m.counter_add("graph.nodes", self.hb.graph().node_count() as u64);
+        let stats = self.hb.stats();
+        m.counter_add("hb.base_edges", stats.base_edges as u64);
+        m.counter_add("hb.fifo_fired", stats.fifo_fired as u64);
+        m.counter_add("hb.nopre_fired", stats.nopre_fired as u64);
+        m.counter_add("hb.trans_st_edges", stats.trans_st_edges as u64);
+        m.counter_add("hb.trans_mt_edges", stats.trans_mt_edges as u64);
+        m.counter_add("hb.rounds", stats.rounds as u64);
+        m.counter_add("hb.word_ops", stats.word_ops);
+        m.counter_add("hb.worklist_pops", stats.worklist_pops);
+        m.counter_add("hb.rows_recomputed", stats.rows_recomputed);
+        m.counter_add("hb.skipped_words", stats.skipped_words);
+        m.counter_add("races.block_pairs", self.races.len() as u64);
+        let counts = self.counts();
+        m.counter_add("races.representatives", counts.total() as u64);
+        for cat in RaceCategory::all() {
+            m.counter_add(format!("races.{cat}"), counts.get(cat) as u64);
+        }
+        m.gauge_set("time.total_ms", self.timing.total().as_secs_f64() * 1e3);
+        m
+    }
+
+    /// The coverage report, when the session ran with
+    /// [`AnalysisBuilder::with_coverage`](crate::AnalysisBuilder::with_coverage).
+    pub fn coverage(&self) -> Option<&CoverageReport> {
+        self.coverage.as_ref()
+    }
+
+    /// One rendered explanation per representative race, when the session
+    /// ran with
+    /// [`AnalysisBuilder::with_explanations`](crate::AnalysisBuilder::with_explanations).
+    pub fn explanations(&self) -> &[String] {
+        &self.explanations
+    }
+
     /// All classified races (one per unordered conflicting block pair).
     pub fn races(&self) -> &[ClassifiedRace] {
         &self.races
@@ -147,13 +247,7 @@ impl Analysis {
     /// belonging to the same category on the same memory location,
     /// DroidRacer reports any one of them").
     pub fn representatives(&self) -> Vec<ClassifiedRace> {
-        let mut seen: HashMap<(MemLoc, RaceCategory), ClassifiedRace> = HashMap::new();
-        for cr in &self.races {
-            seen.entry((cr.race.loc, cr.category)).or_insert(*cr);
-        }
-        let mut reps: Vec<ClassifiedRace> = seen.into_values().collect();
-        reps.sort_by_key(|cr| (cr.race.loc, cr.category, cr.race.first, cr.race.second));
-        reps
+        representatives_of(&self.races)
     }
 
     /// Number of representative races in `category`.
@@ -283,9 +377,13 @@ mod tests {
         b.finish()
     }
 
+    fn analyze(trace: &Trace) -> Analysis {
+        AnalysisBuilder::new().analyze(trace).expect("runs")
+    }
+
     #[test]
     fn analysis_finds_and_classifies() {
-        let analysis = Analysis::run(&racy_trace());
+        let analysis = analyze(&racy_trace());
         assert_eq!(analysis.races().len(), 1);
         assert_eq!(analysis.count(RaceCategory::Multithreaded), 1);
         assert_eq!(analysis.counts().total(), 1);
@@ -309,7 +407,7 @@ mod tests {
         b.write(bg, loc);
         b.read(main, loc);
         let trace = b.finish();
-        let analysis = Analysis::run(&trace);
+        let analysis = analyze(&trace);
         assert_eq!(analysis.races().len(), 2);
         assert_eq!(analysis.representatives().len(), 1);
     }
@@ -325,14 +423,14 @@ mod tests {
         b.post(main, t1, main);
         b.cancel(main, t1);
         let trace = b.finish();
-        let analysis = Analysis::run(&trace);
+        let analysis = analyze(&trace);
         assert_eq!(analysis.trace().len(), 3);
         assert!(analysis.races().is_empty());
     }
 
     #[test]
     fn render_mentions_location_names() {
-        let analysis = Analysis::run(&racy_trace());
+        let analysis = analyze(&racy_trace());
         let text = analysis.render();
         assert!(text.contains("C.state"), "got: {text}");
         assert!(text.contains("multithreaded"), "got: {text}");
@@ -355,11 +453,57 @@ mod tests {
     fn baseline_mode_analysis_runs() {
         let trace = racy_trace();
         for mode in HbMode::all() {
-            let analysis = Analysis::run_mode(&trace, mode);
+            let analysis = AnalysisBuilder::new().mode(mode).analyze(&trace).expect("runs");
             // The mt race is visible to every mode that has fork edges; the
             // async-only baseline misses fork and reports it too (as a
             // "race") — either way analysis must not crash.
             let _ = analysis.counts();
         }
+    }
+
+    #[test]
+    fn deprecated_shims_match_builder() {
+        let trace = racy_trace();
+        let via_builder = analyze(&trace);
+        #[allow(deprecated)]
+        let via_shim = Analysis::run(&trace);
+        assert_eq!(via_builder.races(), via_shim.races());
+        assert_eq!(via_builder.hb().stats(), via_shim.hb().stats());
+        #[allow(deprecated)]
+        let via_mode = Analysis::run_mode(&trace, HbMode::MultithreadedOnly);
+        let via_builder_mode = AnalysisBuilder::new()
+            .mode(HbMode::MultithreadedOnly)
+            .analyze(&trace)
+            .expect("runs");
+        assert_eq!(via_mode.races(), via_builder_mode.races());
+    }
+
+    #[test]
+    fn metrics_mirror_engine_stats() {
+        let analysis = analyze(&racy_trace());
+        let m = analysis.metrics();
+        let stats = analysis.hb().stats();
+        assert_eq!(m.counter("hb.word_ops"), Some(stats.word_ops));
+        assert_eq!(m.counter("hb.base_edges"), Some(stats.base_edges as u64));
+        assert_eq!(m.counter("hb.rounds"), Some(stats.rounds as u64));
+        assert_eq!(m.counter("trace.ops"), Some(analysis.trace().len() as u64));
+        assert_eq!(
+            m.counter("races.representatives"),
+            Some(analysis.counts().total() as u64)
+        );
+        assert!(m.gauge("time.total_ms").is_some());
+    }
+
+    #[test]
+    fn timing_totals_sum_stages() {
+        let t = AnalysisTiming {
+            prepare: Duration::from_millis(1),
+            graph: Duration::from_millis(2),
+            closure: Duration::from_millis(3),
+            detect: Duration::from_millis(4),
+            classify: Duration::from_millis(5),
+        };
+        assert_eq!(t.happens_before(), Duration::from_millis(5));
+        assert_eq!(t.total(), Duration::from_millis(15));
     }
 }

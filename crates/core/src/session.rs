@@ -1,0 +1,402 @@
+//! The analysis session API: [`AnalysisBuilder`] and [`AnalysisError`].
+//!
+//! Historically the pipeline was driven through a knob soup of free
+//! constructors (`Analysis::run`, `Analysis::run_mode`, `Analysis::run_with`
+//! plus an `HbConfig` with a merge flag). The builder replaces them with a
+//! single entry point that owns every toggle — relation preset, individual
+//! rules, node merging, optional semantics validation, race coverage and
+//! race explanations — and the observability wiring: every session records
+//! a five-phase span tree, and an optional [`ObsSink`] receives the
+//! completed profile without any caller threading arguments through the
+//! pipeline layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use droidracer_trace::{ThreadKind, TraceBuilder};
+//! use droidracer_core::AnalysisBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let main = b.thread("main", ThreadKind::Main, true);
+//! let bg = b.thread("bg", ThreadKind::App, false);
+//! let loc = b.loc("obj", "C.state");
+//! b.thread_init(main);
+//! b.fork(main, bg);
+//! b.thread_init(bg);
+//! b.write(bg, loc);
+//! b.read(main, loc);
+//!
+//! let analysis = AnalysisBuilder::new()
+//!     .validate_first(true)
+//!     .analyze(&b.finish())
+//!     .expect("valid trace");
+//! assert_eq!(analysis.races().len(), 1);
+//! // Every session carries its phase spans and engine metrics.
+//! assert!(analysis.spans().find("closure").is_some());
+//! assert_eq!(
+//!     analysis.metrics().counter("hb.rounds"),
+//!     Some(analysis.hb().rounds() as u64),
+//! );
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use droidracer_obs::{ObsSink, Recorder};
+use droidracer_trace::{validate, Trace, ValidateError};
+
+use crate::classify::classify;
+use crate::coverage::race_coverage;
+use crate::engine::HappensBefore;
+use crate::explain::explain;
+use crate::graph::HbGraph;
+use crate::race::detect;
+use crate::report::{representatives_of, Analysis, AnalysisTiming, ClassifiedRace};
+use crate::rules::{HbConfig, HbMode, RuleSet};
+
+/// Why an analysis session could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The input trace violates the concurrency semantics (only checked
+    /// when [`AnalysisBuilder::validate_first`] is enabled).
+    Validate(ValidateError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Validate(e) => write!(f, "trace rejected by the semantics checker: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Validate(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidateError> for AnalysisError {
+    fn from(e: ValidateError) -> Self {
+        AnalysisError::Validate(e)
+    }
+}
+
+/// Builder-style entry point for one race-detection session.
+///
+/// See the [module documentation](self) for an example. All setters take
+/// and return `self`, so a session reads as one expression; the terminal
+/// operation is [`AnalysisBuilder::analyze`].
+#[derive(Clone, Default)]
+pub struct AnalysisBuilder {
+    config: HbConfig,
+    validate: bool,
+    coverage: bool,
+    explain: bool,
+    origin: Option<Instant>,
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl AnalysisBuilder {
+    /// A session with the paper's full configuration (all rules, node
+    /// merging on, no validation, no extras).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects a preset happens-before relation (the paper's or one of the
+    /// §4.1 baselines). Overwrites any previously set rule set.
+    pub fn mode(mut self, mode: HbMode) -> Self {
+        self.config.rules = mode.rule_set();
+        self
+    }
+
+    /// Sets an explicit rule set (fine-grained ablation control).
+    pub fn rules(mut self, rules: RuleSet) -> Self {
+        self.config.rules = rules;
+        self
+    }
+
+    /// Replaces the whole engine configuration at once.
+    pub fn config(mut self, config: HbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Toggles the §6 node-merging optimization (default: on).
+    pub fn merge_accesses(mut self, merge: bool) -> Self {
+        self.config.merge_accesses = merge;
+        self
+    }
+
+    /// Runs the Figure 5 semantics checker before analyzing; an invalid
+    /// trace fails the session with [`AnalysisError::Validate`] instead of
+    /// producing garbage orderings (default: off, matching the historical
+    /// `Analysis::run` behaviour).
+    pub fn validate_first(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// Also computes the race-coverage report (root causes vs covered
+    /// reports) and stores it on the result (default: off — coverage
+    /// recomputes the relation once per candidate root and is much more
+    /// expensive than detection).
+    pub fn with_coverage(mut self, coverage: bool) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Also renders a happens-before explanation for every representative
+    /// race and stores them on the result (default: off).
+    pub fn with_explanations(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// Measures the session's spans from an explicit clock origin instead
+    /// of the session start. Workers of a parallel fan-out share the
+    /// fan-out's origin so every recorded span lands on one timeline and
+    /// per-worker subtrees merge without rebasing.
+    pub fn clock_origin(mut self, origin: Instant) -> Self {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Streams the completed profile (span tree + metrics) to `sink` after
+    /// every session. The result also carries the same spans/metrics, so a
+    /// sink is only needed by callers that aggregate across sessions.
+    pub fn sink(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Runs the session: (optional) validation → cancellation stripping +
+    /// indexing → graph build + merge → happens-before closure → race
+    /// detection + classification (+ optional coverage / explanations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Validate`] when validation is enabled and
+    /// the trace violates the concurrency semantics. Without validation the
+    /// session is infallible.
+    pub fn analyze(&self, trace: &Trace) -> Result<Analysis, AnalysisError> {
+        let mut rec = match self.origin {
+            Some(origin) => Recorder::with_origin(origin),
+            None => Recorder::new(),
+        };
+        let mut timing = AnalysisTiming::default();
+        rec.start("analysis");
+
+        if self.validate {
+            rec.start("validate");
+            let checked = validate(trace);
+            rec.end();
+            checked?;
+        }
+
+        rec.start("prepare");
+        let start = Instant::now();
+        let trace = trace.without_cancelled();
+        let index = trace.index();
+        timing.prepare = start.elapsed();
+        rec.counter("ops", trace.len() as u64);
+        rec.end();
+
+        rec.start("graph");
+        let start = Instant::now();
+        let graph = HbGraph::build(&trace, &index, self.config.merge_accesses);
+        timing.graph = start.elapsed();
+        rec.counter("nodes", graph.node_count() as u64);
+        rec.end();
+
+        rec.start("closure");
+        let start = Instant::now();
+        let hb = HappensBefore::compute_on_graph(&trace, &index, graph, self.config);
+        timing.closure = start.elapsed();
+        let stats = hb.stats();
+        rec.counter("base_edges", stats.base_edges as u64);
+        rec.counter("fifo_fired", stats.fifo_fired as u64);
+        rec.counter("nopre_fired", stats.nopre_fired as u64);
+        rec.counter("trans_st_edges", stats.trans_st_edges as u64);
+        rec.counter("trans_mt_edges", stats.trans_mt_edges as u64);
+        rec.counter("rounds", stats.rounds as u64);
+        rec.counter("word_ops", stats.word_ops);
+        rec.counter("worklist_pops", stats.worklist_pops);
+        rec.counter("rows_recomputed", stats.rows_recomputed);
+        rec.counter("skipped_words", stats.skipped_words);
+        rec.end();
+
+        rec.start("detect");
+        let start = Instant::now();
+        let raw = detect(&trace, &hb);
+        timing.detect = start.elapsed();
+        let start = Instant::now();
+        let races: Vec<ClassifiedRace> = raw
+            .into_iter()
+            .map(|race| ClassifiedRace {
+                category: classify(&trace, &index, &hb, &race),
+                race,
+            })
+            .collect();
+        timing.classify = start.elapsed();
+        rec.counter("block_pairs", races.len() as u64);
+        rec.counter("representatives", representatives_of(&races).len() as u64);
+        rec.end();
+
+        let mut analysis = Analysis::assemble(trace, hb, races, timing);
+
+        if self.coverage {
+            rec.start("coverage");
+            let report = race_coverage(&analysis);
+            rec.counter("roots", report.roots.len() as u64);
+            rec.counter("covered", report.covered.len() as u64);
+            rec.end();
+            analysis.set_coverage(report);
+        }
+
+        if self.explain {
+            rec.start("explain");
+            let explanations: Vec<String> = analysis
+                .representatives()
+                .iter()
+                .map(|cr| explain(&analysis, &cr.race))
+                .collect();
+            rec.counter("explained", explanations.len() as u64);
+            rec.end();
+            analysis.set_explanations(explanations);
+        }
+
+        rec.end();
+        analysis.set_spans(rec.finish_root());
+        if let Some(sink) = &self.sink {
+            sink.record(analysis.spans(), &analysis.metrics());
+        }
+        Ok(analysis)
+    }
+}
+
+impl fmt::Debug for AnalysisBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisBuilder")
+            .field("config", &self.config)
+            .field("validate", &self.validate)
+            .field("coverage", &self.coverage)
+            .field("explain", &self.explain)
+            .field("origin", &self.origin)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn ObsSink"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_obs::CollectingSink;
+    use droidracer_trace::{ThreadKind, TraceBuilder};
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("obj", "C.state");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc);
+        b.read(main, loc);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_records_pipeline_spans() {
+        let analysis = AnalysisBuilder::new().analyze(&racy_trace()).expect("runs");
+        let spans = analysis.spans();
+        assert_eq!(spans.name, "analysis");
+        for phase in ["prepare", "graph", "closure", "detect"] {
+            assert!(spans.find(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(spans.find("validate").is_none(), "validation is opt-in");
+    }
+
+    #[test]
+    fn validation_catches_malformed_traces() {
+        // A task beginning on a thread that never attached a queue.
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let t = b.task("T");
+        b.thread_init(main);
+        b.begin(main, t);
+        let trace = b.finish();
+        let err = AnalysisBuilder::new()
+            .validate_first(true)
+            .analyze(&trace)
+            .expect_err("invalid trace must fail");
+        assert!(matches!(err, AnalysisError::Validate(_)));
+        assert!(err.to_string().contains("semantics"), "{err}");
+        // Without validation the session still runs.
+        assert!(AnalysisBuilder::new().analyze(&trace).is_ok());
+    }
+
+    #[test]
+    fn coverage_and_explanations_are_opt_in() {
+        let plain = AnalysisBuilder::new().analyze(&racy_trace()).expect("runs");
+        assert!(plain.coverage().is_none());
+        assert!(plain.explanations().is_empty());
+
+        let rich = AnalysisBuilder::new()
+            .with_coverage(true)
+            .with_explanations(true)
+            .analyze(&racy_trace())
+            .expect("runs");
+        assert!(rich.coverage().is_some());
+        assert_eq!(rich.explanations().len(), rich.representatives().len());
+        assert!(rich.spans().find("coverage").is_some());
+        assert!(rich.spans().find("explain").is_some());
+    }
+
+    #[test]
+    fn sink_receives_each_profile() {
+        let sink = Arc::new(CollectingSink::new());
+        let builder = AnalysisBuilder::new().sink(sink.clone());
+        builder.analyze(&racy_trace()).expect("runs");
+        builder.analyze(&racy_trace()).expect("runs");
+        let profiles = sink.take();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].0.name, "analysis");
+        assert!(profiles[0].1.counter("hb.word_ops").is_some());
+    }
+
+    #[test]
+    fn mode_and_merge_match_legacy_config() {
+        let trace = racy_trace();
+        for mode in HbMode::all() {
+            for merge in [true, false] {
+                let config = HbConfig {
+                    rules: mode.rule_set(),
+                    merge_accesses: merge,
+                };
+                let via_builder = AnalysisBuilder::new()
+                    .mode(mode)
+                    .merge_accesses(merge)
+                    .analyze(&trace)
+                    .expect("runs");
+                let via_config = AnalysisBuilder::new()
+                    .config(config)
+                    .analyze(&trace)
+                    .expect("runs");
+                assert_eq!(via_builder.races(), via_config.races(), "{mode:?}/{merge}");
+                assert_eq!(
+                    via_builder.hb().stats(),
+                    via_config.hb().stats(),
+                    "{mode:?}/{merge}"
+                );
+            }
+        }
+    }
+}

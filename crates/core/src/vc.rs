@@ -184,7 +184,7 @@ pub fn detect_multithreaded(trace: &Trace) -> Vec<VcRace> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::Analysis;
+    use crate::session::AnalysisBuilder;
     use crate::rules::HbMode;
     use droidracer_trace::{ThreadKind, TraceBuilder};
 
@@ -281,7 +281,7 @@ mod tests {
         let trace = b.finish();
         assert!(detect_multithreaded(&trace).is_empty());
         // …while the paper's relation reports it:
-        assert_eq!(Analysis::run(&trace).races().len(), 1);
+        assert_eq!(AnalysisBuilder::new().analyze(&trace).unwrap().races().len(), 1);
     }
 
     #[test]
@@ -314,7 +314,7 @@ mod tests {
         let vc_locs: std::collections::BTreeSet<MemLoc> =
             detect_multithreaded(&trace).iter().map(|r| r.loc).collect();
         let graph_locs: std::collections::BTreeSet<MemLoc> =
-            Analysis::run_mode(&trace, HbMode::MultithreadedOnly)
+            AnalysisBuilder::new().mode(HbMode::MultithreadedOnly).analyze(&trace).unwrap()
                 .races()
                 .iter()
                 .map(|cr| cr.race.loc)

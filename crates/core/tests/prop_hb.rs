@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use droidracer_core::{Analysis, HbConfig, HbMode, RaceCategory};
+use droidracer_core::{Analysis, AnalysisBuilder, HbConfig, HbMode, RaceCategory};
 use droidracer_trace::{
     validate, MemLoc, PostKind, TaskId, ThreadId, ThreadKind, Trace, TraceBuilder,
 };
@@ -261,8 +261,8 @@ proptest! {
     #[test]
     fn merging_is_lossless(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let trace = random_valid_trace(&bytes);
-        let merged = Analysis::run_with(&trace, HbConfig::new());
-        let unmerged = Analysis::run_with(&trace, HbConfig::new().without_merging());
+        let merged = AnalysisBuilder::new().config(HbConfig::new()).analyze(&trace).unwrap();
+        let unmerged = AnalysisBuilder::new().config(HbConfig::new().without_merging()).analyze(&trace).unwrap();
         prop_assert_eq!(race_keys(&merged), race_keys(&unmerged));
     }
 
@@ -271,7 +271,7 @@ proptest! {
     #[test]
     fn respects_trace_order(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let trace = random_valid_trace(&bytes);
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
         let n = analysis.trace().len();
         for i in 0..n {
             for j in i + 1..n {
@@ -285,7 +285,7 @@ proptest! {
     #[test]
     fn trans_mt_is_closed(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
         let trace = random_valid_trace(&bytes);
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
         let t = analysis.trace();
         let n = t.len();
         for a in 0..n {
@@ -313,7 +313,7 @@ proptest! {
     #[test]
     fn trans_st_is_closed(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
         let trace = random_valid_trace(&bytes);
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
         let t = analysis.trace();
         let n = t.len();
         for a in 0..n {
@@ -340,8 +340,8 @@ proptest! {
     #[test]
     fn full_orderings_subset_of_naive(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
         let trace = random_valid_trace(&bytes);
-        let full = Analysis::run(&trace);
-        let naive = Analysis::run_mode(&trace, HbMode::NaiveCombined);
+        let full = AnalysisBuilder::new().analyze(&trace).unwrap();
+        let naive = AnalysisBuilder::new().mode(HbMode::NaiveCombined).analyze(&trace).unwrap();
         let n = trace.len();
         for i in 0..n {
             for j in i + 1..n {
@@ -360,8 +360,8 @@ proptest! {
     #[test]
     fn analysis_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let trace = random_valid_trace(&bytes);
-        let a = Analysis::run(&trace);
-        let b = Analysis::run(&trace);
+        let a = AnalysisBuilder::new().analyze(&trace).unwrap();
+        let b = AnalysisBuilder::new().analyze(&trace).unwrap();
         prop_assert_eq!(a.races(), b.races());
         prop_assert_eq!(a.hb().ordered_pairs(), b.hb().ordered_pairs());
     }

@@ -3,20 +3,20 @@
 //! exactly that rule is disabled — pinning each rule's individual
 //! contribution to precision.
 
-use droidracer_core::{Analysis, HbConfig, RuleSet};
+use droidracer_core::{AnalysisBuilder, HbConfig, RuleSet};
 use droidracer_trace::{validate, ThreadKind, Trace, TraceBuilder};
 
 fn races_with(trace: &Trace, rules: RuleSet) -> usize {
     assert_eq!(validate(trace), Ok(()), "ablation traces must be feasible");
-    Analysis::run_with(
-        trace,
-        HbConfig {
+    AnalysisBuilder::new()
+        .config(HbConfig {
             rules,
             merge_accesses: true,
-        },
-    )
-    .representatives()
-    .len()
+        })
+        .analyze(trace)
+        .unwrap()
+        .representatives()
+        .len()
 }
 
 /// Asserts the trace is race-free under full rules and racy once `mutate`
@@ -357,23 +357,19 @@ fn attach_q_rule_is_subsumed_but_present() {
     // pre-loop ops before everything later, so this stays race-free even
     // without attach_q. The rule's observable effect: ordering the write
     // against the POST op on bg (cross-thread). Check the ordering itself.
-    let full_hb = Analysis::run_with(
-        &trace,
-        HbConfig {
-            rules: RuleSet::full(),
-            merge_accesses: false,
-        },
-    );
+    let full_hb = AnalysisBuilder::new()
+        .rules(RuleSet::full())
+        .merge_accesses(false)
+        .analyze(&trace)
+        .unwrap();
     assert!(full_hb.hb().ordered(3, 5), "attachQ ≺ post via ATTACH-Q-MT");
     let mut rules = RuleSet::full();
     rules.attach_q = false;
-    let ablated = Analysis::run_with(
-        &trace,
-        HbConfig {
-            rules,
-            merge_accesses: false,
-        },
-    );
+    let ablated = AnalysisBuilder::new()
+        .rules(rules)
+        .merge_accesses(false)
+        .analyze(&trace)
+        .unwrap();
     assert!(
         !ablated.hb().ordered(3, 5),
         "without the rule the pair is unordered"

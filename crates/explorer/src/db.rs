@@ -131,10 +131,33 @@ pub fn run_campaign_parallel(
     config: &ExplorerConfig,
     threads: usize,
 ) -> Result<Campaign, ExploreError> {
+    run_campaign_profiled(app, config, threads).map(|(campaign, _)| campaign)
+}
+
+/// Like [`run_campaign_parallel`], additionally returning the campaign's
+/// span tree: a root `explore` span with one `explore[i]` child per
+/// enumerated sequence (in DFS enumeration order for every thread count),
+/// each carrying `trace_ops` and `completed` counters.
+///
+/// # Errors
+///
+/// Returns the first compile/simulation failure (in enumeration order, not
+/// completion order); individual incomplete runs are recorded, not errors.
+pub fn run_campaign_profiled(
+    app: &App,
+    config: &ExplorerConfig,
+    threads: usize,
+) -> Result<(Campaign, droidracer_obs::SpanRecord), ExploreError> {
     let sequences = enumerate_sequences(app, config);
-    let results = droidracer_core::par_map(&sequences, threads, |events| {
-        run_sequence(app, events, config)
-    });
+    let (results, span) =
+        droidracer_core::par_map_profiled(&sequences, threads, "explore", |events, rec| {
+            let result = run_sequence(app, events, config);
+            if let Ok(result) = &result {
+                rec.counter("trace_ops", result.trace.len() as u64);
+                rec.counter("completed", u64::from(result.completed));
+            }
+            result
+        });
     let mut db = ReplayDb::new();
     let mut runs = Vec::new();
     for (events, result) in sequences.into_iter().zip(results) {
@@ -142,7 +165,7 @@ pub fn run_campaign_parallel(
         db.record(events.clone(), config.seed, &result);
         runs.push((events, result));
     }
-    Ok(Campaign { db, runs })
+    Ok((Campaign { db, runs }, span))
 }
 
 #[cfg(test)]
@@ -198,6 +221,24 @@ mod tests {
         let db = ReplayDb::new();
         assert!(db.replay(&app(), 0).is_none());
         assert!(db.entry(3).is_none());
+    }
+
+    #[test]
+    fn profiled_campaign_has_stable_span_structure() {
+        let app = app();
+        let config = ExplorerConfig {
+            max_depth: 2,
+            ..ExplorerConfig::default()
+        };
+        let (campaign, base) = run_campaign_profiled(&app, &config, 1).expect("campaign runs");
+        assert_eq!(base.name, "explore");
+        assert_eq!(base.children.len(), campaign.runs.len());
+        assert!(base.children[0].counters.iter().any(|(k, _)| k == "trace_ops"));
+        for threads in [2, 8] {
+            let (c, span) = run_campaign_profiled(&app, &config, threads).expect("campaign runs");
+            assert_eq!(c.db.len(), campaign.db.len(), "threads={threads}");
+            assert_eq!(span.structure(), base.structure(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ mod db;
 mod explore;
 mod input;
 
-pub use db::{run_campaign, run_campaign_parallel, Campaign, ReplayDb, TestEntry};
+pub use db::{
+    run_campaign, run_campaign_parallel, run_campaign_profiled, Campaign, ReplayDb, TestEntry,
+};
 pub use explore::{enumerate_sequences, run_sequence, ExploreError, ExplorerConfig};
 pub use input::TextFormat;

@@ -1,0 +1,407 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! The registry is the single aggregation point for the workspace's
+//! deterministic instrumentation (the happens-before engine's
+//! `EngineStats`, per-analysis race counts, corpus totals) and for the few
+//! wall-clock measurements worth exporting. Determinism is split by metric
+//! kind:
+//!
+//! * **counters** and **histograms** hold deterministic values — identical
+//!   for a given input at any worker-thread count;
+//! * **gauges** are the designated home for wall-clock-ish values
+//!   (durations, throughput) and are excluded from the Chrome trace export
+//!   and from deterministic comparisons.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-bucket (power-of-two) histogram of `u64` observations.
+///
+/// Bucket `k` counts observations whose bit length is `k` (bucket 0 counts
+/// zeros), capped at 63 — coarse, allocation-free, and mergeable, which is
+/// all the pipeline needs for size/effort distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(63)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0.0–1.0): the top of the first
+    /// bucket whose cumulative count reaches `q * count`. Coarse by design
+    /// (power-of-two buckets).
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if k == 0 { 0 } else { (1u64 << k) - 1 }.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "count=0");
+        }
+        write!(
+            f,
+            "count={} sum={} min={} mean={:.1} p90<={} max={}",
+            self.count,
+            self.sum,
+            self.min,
+            self.mean(),
+            self.quantile_upper(0.9),
+            self.max
+        )
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated deterministic count.
+    Counter(u64),
+    /// A last-write-wins floating-point reading (wall-clock-ish values go
+    /// here — gauges are excluded from deterministic comparisons).
+    Gauge(f64),
+    /// A distribution of deterministic observations (boxed: the fixed
+    /// bucket array dwarfs the other variants).
+    Histogram(Box<Histogram>),
+}
+
+/// A name-keyed collection of metrics with deterministic iteration order.
+///
+/// # Examples
+///
+/// ```
+/// use droidracer_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_add("hb.word_ops", 12_803);
+/// m.counter_add("hb.word_ops", 197);
+/// m.observe("trace.ops", 1355);
+/// m.gauge_set("time.total_ms", 4.2);
+/// assert_eq!(m.counter("hb.word_ops"), Some(13_000));
+/// assert_eq!(m.histogram("trace.ops").unwrap().count, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter_add(&mut self, name: impl Into<String>, delta: u64) {
+        match self
+            .metrics
+            .entry(name.into())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge_set(&mut self, name: impl Into<String>, value: f64) {
+        match self
+            .metrics
+            .entry(name.into())
+            .or_insert(MetricValue::Gauge(0.0))
+        {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("metric is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `value` into the histogram `name` (creating it empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn observe(&mut self, name: impl Into<String>, value: u64) {
+        match self
+            .metrics
+            .entry(name.into())
+            .or_insert_with(|| MetricValue::Histogram(Box::new(Histogram::new())))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The counter `name`, if registered as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`, if registered as one.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if registered as one.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Merges `other` into `self`: counters add, histograms merge, gauges
+    /// take `other`'s reading. Used to aggregate per-trace registries into
+    /// corpus totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered under different kinds in the two
+    /// registries.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.metrics {
+            match value {
+                MetricValue::Counter(v) => self.counter_add(name.clone(), *v),
+                MetricValue::Gauge(v) => self.gauge_set(name.clone(), *v),
+                MetricValue::Histogram(h) => match self
+                    .metrics
+                    .entry(name.clone())
+                    .or_insert_with(|| MetricValue::Histogram(Box::new(Histogram::new())))
+                {
+                    MetricValue::Histogram(mine) => mine.merge(h),
+                    other => panic!("metric is not a histogram: {other:?}"),
+                },
+            }
+        }
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders the registry as sorted `name  value` lines.
+    pub fn render(&self) -> String {
+        let width = self.metrics.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{name:<width$}  {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{name:<width$}  {v:.3}\n")),
+                MetricValue::Histogram(h) => out.push_str(&format!("{name:<width$}  {h}\n")),
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object with `counters`, `gauges` and
+    /// `histograms` sub-objects (names sorted).
+    pub fn to_json(&self) -> String {
+        use crate::json::escape;
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => counters.push(format!("\"{}\": {v}", escape(name))),
+                MetricValue::Gauge(v) => gauges.push(format!("\"{}\": {v:.6}", escape(name))),
+                MetricValue::Histogram(h) => histograms.push(format!(
+                    "\"{}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {} }}",
+                    escape(name),
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                )),
+            }
+        }
+        format!(
+            "{{ \"counters\": {{ {} }}, \"gauges\": {{ {} }}, \"histograms\": {{ {} }} }}",
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a", 2);
+        m.counter_add("a", 3);
+        assert_eq!(m.counter("a"), Some(5));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("g", 1.0);
+        m.gauge_set("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_tracks_distribution() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1106);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!(h.mean() > 180.0 && h.mean() < 190.0);
+        assert!(h.quantile_upper(0.5) <= 1000);
+        assert_eq!(h.quantile_upper(1.0), 1000);
+    }
+
+    #[test]
+    fn absorb_merges_by_kind() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.observe("h", 4);
+        a.gauge_set("g", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.observe("h", 8);
+        b.gauge_set("g", 9.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert_eq!(a.gauge("g"), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn kind_mismatch_panics() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", 1);
+        m.gauge_set("x", 1.0);
+    }
+
+    #[test]
+    fn render_and_json_are_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b.count", 2);
+        m.counter_add("a.count", 1);
+        m.gauge_set("time.ms", 1.5);
+        m.observe("sizes", 64);
+        let text = m.render();
+        let a_pos = text.find("a.count").unwrap();
+        let b_pos = text.find("b.count").unwrap();
+        assert!(a_pos < b_pos, "sorted render: {text}");
+        let json = m.to_json();
+        assert!(json.contains("\"a.count\": 1"), "{json}");
+        assert!(json.contains("\"time.ms\": 1.500000"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_cover_both() {
+        let mut a = Histogram::new();
+        a.observe(10);
+        let mut b = Histogram::new();
+        b.observe(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 10);
+        assert_eq!(a.max, 1_000_000);
+    }
+}

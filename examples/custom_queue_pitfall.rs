@@ -11,7 +11,7 @@
 //! Run with `cargo run --example custom_queue_pitfall`.
 
 use droidracer::apps::{strip_untracked, verify_race, CorpusEntry, MotifBuilder, PaperRow, VerifyOutcome};
-use droidracer::core::Analysis;
+use droidracer::core::AnalysisBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One true cross-posted race and one false one (ordered through an
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let trace = entry.generate_trace()?;
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     println!("{}", analysis.render());
     assert_eq!(
         analysis.representatives().len(),

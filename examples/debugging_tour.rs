@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --example debugging_tour`.
 
-use droidracer::core::{explain, race_coverage, to_dot, Analysis};
+use droidracer::core::{explain, race_coverage, to_dot, AnalysisBuilder};
 use droidracer::trace::{ThreadKind, TraceBuilder};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
     b.read(main, footer);
     let trace = b.finish();
 
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     println!("{}", analysis.render());
     assert_eq!(analysis.representatives().len(), 4);
 

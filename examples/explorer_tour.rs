@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example explorer_tour`.
 
-use droidracer::core::Analysis;
+use droidracer::core::AnalysisBuilder;
 use droidracer::explorer::{run_campaign, ExplorerConfig};
 use droidracer::framework::{AppBuilder, Stmt};
 use droidracer::trace::validate;
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut racy_tests = 0;
     for (events, result) in &campaign.runs {
         validate(&result.trace)?;
-        let analysis = Analysis::run(&result.trace);
+        let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
         if !analysis.races().is_empty() {
             racy_tests += 1;
         }

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --example lifecycle_race`.
 
-use droidracer::core::{Analysis, HbMode, RaceCategory};
+use droidracer::core::{AnalysisBuilder, HbMode, RaceCategory};
 use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
 
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SimConfig::default(),
     )?;
     assert!(result.completed);
-    let analysis = Analysis::run(&result.trace);
+    let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
     println!("{}", analysis.render());
 
     // The lifecycle writes to `draftText` (onCreate, onPause, …) never race
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Without the enable edges (events-as-threads baseline) the lifecycle
     // callbacks appear concurrent and false positives appear.
-    let baseline = Analysis::run_mode(analysis.trace(), HbMode::EventsAsThreads);
+    let baseline = AnalysisBuilder::new().mode(HbMode::EventsAsThreads).analyze(analysis.trace()).unwrap();
     println!(
         "droidracer reports {} races; the events-as-threads baseline reports {}",
         analysis.representatives().len(),

@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --example music_player`.
 
-use droidracer::core::{Analysis, RaceCategory};
+use droidracer::core::{AnalysisBuilder, RaceCategory};
 use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
 use droidracer::trace::validate;
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &SimConfig::default(),
             )?;
             validate(&result.trace)?;
-            let analysis = Analysis::run(&result.trace);
+            let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
             total += analysis.races().len();
             mt += analysis.count(RaceCategory::Multithreaded);
             cross += analysis.count(RaceCategory::CrossPosted);

@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use droidracer::core::Analysis;
+use droidracer::core::AnalysisBuilder;
 use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
 use droidracer::trace::{validate, TraceStats};
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", result.trace);
 
     // 4. Compute the happens-before relation and report races.
-    let analysis = Analysis::run(&result.trace);
+    let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
     println!("{}", analysis.render());
     assert_eq!(analysis.races().len(), 1, "the loader race is found");
     Ok(())

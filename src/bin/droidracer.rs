@@ -3,32 +3,50 @@
 //!
 //! ```text
 //! droidracer analyze <trace-file> [--mode MODE] [--no-merge] [--all]
-//!                                  [--explain] [--dot FILE] [--coverage]
+//!                                  [--validate] [--explain] [--dot FILE]
+//!                                  [--coverage] [--profile FILE]
 //! droidracer validate <trace-file>
 //! droidracer stats <trace-file>
 //! droidracer corpus <app-name> [--out FILE]   # dump a corpus trace
-//! droidracer explore <app-name> [depth]       # systematic UI exploration
+//! droidracer explore <app-name> [depth] [--profile FILE]
 //! ```
 //!
 //! Modes: full (default), mt-only, async-only, naive-combined,
-//! events-as-threads.
+//! events-as-threads. `--profile` writes a Chrome `trace_event` JSON
+//! profile of the run (load it in `chrome://tracing` or Perfetto) and
+//! prints the span tree.
 
 use std::process::ExitCode;
 
 use droidracer::apps;
-use droidracer::core::{Analysis, HbConfig, HbMode};
+use droidracer::core::{AnalysisBuilder, HbMode};
+use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
 use droidracer::trace::{from_text, to_text, validate, Trace, TraceStats};
+use droidracer::Error;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  droidracer analyze <trace-file> [--mode full|mt-only|async-only|naive-combined|events-as-threads] [--no-merge] [--all]\n  droidracer validate <trace-file>\n  droidracer stats <trace-file>\n  droidracer corpus <app-name> [--out FILE]"
+        "usage:
+  droidracer analyze <trace-file> [options]
+      --mode full|mt-only|async-only|naive-combined|events-as-threads
+      --no-merge        disable §6 node merging
+      --all             also print the raw block-pair race count
+      --validate        reject semantically invalid traces before analyzing
+      --explain         print a happens-before explanation per representative
+      --dot FILE        write the happens-before graph in Graphviz format
+      --coverage        print root causes vs covered reports
+      --profile FILE    write a Chrome trace_event profile; print the span tree
+  droidracer validate <trace-file>
+  droidracer stats <trace-file>
+  droidracer corpus <app-name> [--out FILE]
+  droidracer explore <app-name> [depth] [--profile FILE]"
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    from_text(&text).map_err(|e| e.to_string())
+fn load(path: &str) -> Result<Trace, Error> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_text(&text)?)
 }
 
 fn parse_mode(s: &str) -> Option<HbMode> {
@@ -42,6 +60,186 @@ fn parse_mode(s: &str) -> Option<HbMode> {
     })
 }
 
+fn find_entry(name: &str) -> Result<apps::CorpusEntry, ExitCode> {
+    apps::corpus()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            eprintln!(
+                "unknown app `{name}`; available: {}",
+                apps::corpus()
+                    .iter()
+                    .map(|e| e.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::FAILURE
+        })
+}
+
+struct AnalyzeOpts {
+    mode: HbMode,
+    merge: bool,
+    show_all: bool,
+    validate_first: bool,
+    explain_races: bool,
+    coverage: bool,
+    dot_file: Option<String>,
+    profile_file: Option<String>,
+}
+
+fn parse_analyze_opts(args: &[String]) -> Option<AnalyzeOpts> {
+    let mut opts = AnalyzeOpts {
+        mode: HbMode::Full,
+        merge: true,
+        show_all: false,
+        validate_first: false,
+        explain_races: false,
+        coverage: false,
+        dot_file: None,
+        profile_file: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                opts.mode = args.get(i + 1).and_then(|s| parse_mode(s))?;
+                i += 2;
+            }
+            "--no-merge" => {
+                opts.merge = false;
+                i += 1;
+            }
+            "--all" => {
+                opts.show_all = true;
+                i += 1;
+            }
+            "--validate" => {
+                opts.validate_first = true;
+                i += 1;
+            }
+            "--explain" => {
+                opts.explain_races = true;
+                i += 1;
+            }
+            "--coverage" => {
+                opts.coverage = true;
+                i += 1;
+            }
+            "--dot" => {
+                opts.dot_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--profile" => {
+                opts.profile_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+fn cmd_analyze(path: &str, opts: &AnalyzeOpts) -> Result<ExitCode, Error> {
+    let mut rec = Recorder::new();
+    rec.start("analyze");
+
+    rec.start("parse");
+    let trace = load(path)?;
+    rec.counter("ops", trace.len() as u64);
+    rec.end();
+
+    let analysis = AnalysisBuilder::new()
+        .mode(opts.mode)
+        .merge_accesses(opts.merge)
+        .validate_first(opts.validate_first)
+        .with_coverage(opts.coverage)
+        .with_explanations(opts.explain_races)
+        .clock_origin(rec.origin())
+        .analyze(&trace)?;
+    rec.adopt(analysis.spans().clone());
+
+    rec.start("report");
+    let mut out = format!(
+        "mode={} nodes={} ({:.1}% of {} ops), {} fixpoint round(s)\n",
+        opts.mode,
+        analysis.hb().graph().node_count(),
+        analysis.hb().graph().reduction_ratio() * 100.0,
+        analysis.trace().len(),
+        analysis.hb().rounds(),
+    );
+    out.push_str(&analysis.render());
+    if opts.show_all {
+        out.push_str(&format!("all block-pair races: {}\n", analysis.races().len()));
+    }
+    for explanation in analysis.explanations() {
+        out.push_str(explanation);
+    }
+    if let Some(report) = analysis.coverage() {
+        out.push_str(&format!(
+            "race coverage: {} root cause(s), {} covered report(s)\n",
+            report.roots.len(),
+            report.covered.len()
+        ));
+        let names = analysis.trace().names();
+        for (k, root) in report.roots.iter().enumerate() {
+            out.push_str(&format!(
+                "  root #{k}: [{}] {}\n",
+                root.category,
+                names.loc_name(root.race.loc)
+            ));
+        }
+        for (cr, by) in &report.covered {
+            let attribution = by
+                .map(|k| format!("root #{k}"))
+                .unwrap_or_else(|| "a coverage chain".to_owned());
+            out.push_str(&format!(
+                "  covered: [{}] {} — by {attribution}\n",
+                cr.category,
+                names.loc_name(cr.race.loc)
+            ));
+        }
+    }
+    rec.counter("races", analysis.representatives().len() as u64);
+    rec.end();
+    rec.end();
+    print!("{out}");
+
+    if let Some(file) = &opts.dot_file {
+        std::fs::write(file, droidracer::core::to_dot(&analysis))?;
+        println!("happens-before graph written to {file}");
+    }
+    if let Some(file) = &opts.profile_file {
+        let root = rec.finish_root();
+        std::fs::write(file, chrome_trace(std::slice::from_ref(&root), &analysis.metrics()))?;
+        print!("{}", render_span_tree(&root));
+        println!("profile written to {file}");
+    }
+    Ok(if analysis.races().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_explore(entry: &apps::CorpusEntry, depth: usize, profile: Option<&str>) -> Result<ExitCode, Error> {
+    let (summary, span) = entry.explore_profiled(depth, 64, 1)?;
+    println!(
+        "{}: {} tests (depth {depth}), {} manifested races; {} racy locations; union {}",
+        entry.name, summary.tests, summary.racy_tests, summary.racy_locations, summary.union
+    );
+    if let Some(file) = profile {
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("explore.tests", summary.tests as u64);
+        metrics.counter_add("explore.racy_tests", summary.racy_tests as u64);
+        metrics.counter_add("explore.racy_locations", summary.racy_locations as u64);
+        std::fs::write(file, chrome_trace(std::slice::from_ref(&span), &metrics))?;
+        print!("{}", render_span_tree(&span));
+        println!("profile written to {file}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -50,106 +248,15 @@ fn main() -> ExitCode {
     match command.as_str() {
         "analyze" => {
             let Some(path) = args.get(1) else { return usage() };
-            let mut mode = HbMode::Full;
-            let mut merge = true;
-            let mut show_all = false;
-            let mut explain_races = false;
-            let mut coverage = false;
-            let mut dot_file: Option<String> = None;
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--mode" => {
-                        let Some(m) = args.get(i + 1).and_then(|s| parse_mode(s)) else {
-                            return usage();
-                        };
-                        mode = m;
-                        i += 2;
-                    }
-                    "--no-merge" => {
-                        merge = false;
-                        i += 1;
-                    }
-                    "--all" => {
-                        show_all = true;
-                        i += 1;
-                    }
-                    "--explain" => {
-                        explain_races = true;
-                        i += 1;
-                    }
-                    "--coverage" => {
-                        coverage = true;
-                        i += 1;
-                    }
-                    "--dot" => {
-                        let Some(f) = args.get(i + 1) else { return usage() };
-                        dot_file = Some(f.clone());
-                        i += 2;
-                    }
-                    _ => return usage(),
-                }
-            }
-            let trace = match load(path) {
-                Ok(t) => t,
+            let Some(opts) = parse_analyze_opts(&args[2..]) else {
+                return usage();
+            };
+            match cmd_analyze(path, &opts) {
+                Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::FAILURE;
+                    ExitCode::FAILURE
                 }
-            };
-            let mut config = HbConfig::for_mode(mode);
-            config.merge_accesses = merge;
-            let analysis = Analysis::run_with(&trace, config);
-            println!(
-                "mode={mode} nodes={} ({:.1}% of {} ops), {} fixpoint round(s)",
-                analysis.hb().graph().node_count(),
-                analysis.hb().graph().reduction_ratio() * 100.0,
-                analysis.trace().len(),
-                analysis.hb().rounds(),
-            );
-            print!("{}", analysis.render());
-            if show_all {
-                println!("all block-pair races: {}", analysis.races().len());
-            }
-            if explain_races {
-                for cr in analysis.representatives() {
-                    print!("{}", droidracer::core::explain(&analysis, &cr.race));
-                }
-            }
-            if coverage {
-                let report = droidracer::core::race_coverage(&analysis);
-                println!(
-                    "race coverage: {} root cause(s), {} covered report(s)",
-                    report.roots.len(),
-                    report.covered.len()
-                );
-                let names = analysis.trace().names();
-                for (k, root) in report.roots.iter().enumerate() {
-                    println!("  root #{k}: [{}] {}", root.category, names.loc_name(root.race.loc));
-                }
-                for (cr, by) in &report.covered {
-                    let attribution = by
-                        .map(|k| format!("root #{k}"))
-                        .unwrap_or_else(|| "a coverage chain".to_owned());
-                    println!(
-                        "  covered: [{}] {} — by {attribution}",
-                        cr.category,
-                        names.loc_name(cr.race.loc)
-                    );
-                }
-            }
-            if let Some(file) = dot_file {
-                let dot = droidracer::core::to_dot(&analysis);
-                if let Err(e) = std::fs::write(&file, dot) {
-                    eprintln!("cannot write {file}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("happens-before graph written to {file}");
-            }
-            if analysis.races().is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
             }
         }
         "validate" => {
@@ -184,24 +291,14 @@ fn main() -> ExitCode {
         }
         "corpus" => {
             let Some(name) = args.get(1) else { return usage() };
-            let entry = apps::corpus()
-                .into_iter()
-                .find(|e| e.name.eq_ignore_ascii_case(name));
-            let Some(entry) = entry else {
-                eprintln!(
-                    "unknown app `{name}`; available: {}",
-                    apps::corpus()
-                        .iter()
-                        .map(|e| e.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                );
-                return ExitCode::FAILURE;
+            let entry = match find_entry(name) {
+                Ok(e) => e,
+                Err(code) => return code,
             };
             let trace = match entry.generate_trace() {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("{e}");
+                    eprintln!("{}", Error::from(e));
                     return ExitCode::FAILURE;
                 }
             };
@@ -222,29 +319,29 @@ fn main() -> ExitCode {
         }
         "explore" => {
             let Some(name) = args.get(1) else { return usage() };
-            let depth: usize = args
-                .get(2)
-                .and_then(|d| d.parse().ok())
-                .unwrap_or(2);
-            let entry = apps::corpus()
-                .into_iter()
-                .find(|e| e.name.eq_ignore_ascii_case(name));
-            let Some(entry) = entry else {
-                eprintln!("unknown app `{name}`");
-                return ExitCode::FAILURE;
-            };
-            match entry.explore(depth, 64) {
-                Ok(summary) => {
-                    println!(
-                        "{}: {} tests (depth {depth}), {} manifested races; {} racy locations; union {}",
-                        entry.name,
-                        summary.tests,
-                        summary.racy_tests,
-                        summary.racy_locations,
-                        summary.union
-                    );
-                    ExitCode::SUCCESS
+            let mut depth = 2usize;
+            let mut profile: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--profile" => {
+                        let Some(f) = args.get(i + 1) else { return usage() };
+                        profile = Some(f.clone());
+                        i += 2;
+                    }
+                    d => {
+                        let Ok(parsed) = d.parse() else { return usage() };
+                        depth = parsed;
+                        i += 1;
+                    }
                 }
+            }
+            let entry = match find_entry(name) {
+                Ok(e) => e,
+                Err(code) => return code,
+            };
+            match cmd_explore(&entry, depth, profile.as_deref()) {
+                Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE

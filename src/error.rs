@@ -1,0 +1,128 @@
+//! The workspace-wide error type.
+//!
+//! Every pipeline stage has its own precise error enum (parse, validate,
+//! compile, simulate, analyze, corpus/exploration). [`Error`] is the union
+//! used at the boundaries — the CLI, scripts, examples — where one `?`
+//! chain crosses several stages. `From` impls exist for each stage error,
+//! so typed results compose without `map_err` noise:
+//!
+//! ```
+//! use droidracer::trace::from_text;
+//! use droidracer::core::AnalysisBuilder;
+//!
+//! fn races_in(text: &str) -> Result<usize, droidracer::Error> {
+//!     let trace = from_text(text)?;
+//!     let analysis = AnalysisBuilder::new().validate_first(true).analyze(&trace)?;
+//!     Ok(analysis.representatives().len())
+//! }
+//!
+//! assert!(races_in("not a trace").is_err());
+//! ```
+
+use std::fmt;
+
+use droidracer_apps::CorpusError;
+use droidracer_core::AnalysisError;
+use droidracer_explorer::ExploreError;
+use droidracer_framework::CompileError;
+use droidracer_sim::SimError;
+use droidracer_trace::{ParseTraceError, ValidateError};
+
+/// Any failure of the end-to-end pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A trace file failed to parse.
+    Parse(ParseTraceError),
+    /// A trace violates the concurrency semantics (Figure 5).
+    Validate(ValidateError),
+    /// An app model failed to compile.
+    Compile(CompileError),
+    /// The simulator failed.
+    Sim(SimError),
+    /// An analysis session failed.
+    Analysis(AnalysisError),
+    /// A corpus pipeline failed.
+    Corpus(CorpusError),
+    /// An I/O failure (reading a trace, writing a profile or report).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Validate(e) => write!(f, "invalid trace: {e}"),
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Error::Analysis(e) => write!(f, "analysis error: {e}"),
+            Error::Corpus(e) => write!(f, "corpus error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Validate(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Analysis(e) => Some(e),
+            Error::Corpus(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseTraceError> for Error {
+    fn from(e: ParseTraceError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<ValidateError> for Error {
+    fn from(e: ValidateError) -> Self {
+        Error::Validate(e)
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<AnalysisError> for Error {
+    fn from(e: AnalysisError) -> Self {
+        Error::Analysis(e)
+    }
+}
+
+impl From<CorpusError> for Error {
+    fn from(e: CorpusError) -> Self {
+        Error::Corpus(e)
+    }
+}
+
+impl From<ExploreError> for Error {
+    fn from(e: ExploreError) -> Self {
+        match e {
+            ExploreError::Compile(c) => Error::Compile(c),
+            ExploreError::Sim(s) => Error::Sim(s),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

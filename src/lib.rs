@@ -21,14 +21,19 @@
 //!   relation (Figures 6–7), graph-based race detection with node merging,
 //!   race classification, and the baseline relations of §4.1;
 //! * [`apps`] — the synthetic 15-application corpus of the evaluation with
-//!   planted, ground-truthed races.
+//!   planted, ground-truthed races;
+//! * [`obs`] — structured observability: hierarchical span timers, a
+//!   metrics registry, and exporters (span-tree text, Chrome
+//!   `trace_event` JSON).
+//!
+//! Cross-stage failures unify into [`Error`].
 //!
 //! # Quick start
 //!
 //! ```
 //! use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 //! use droidracer::sim::{run, RandomScheduler, SimConfig};
-//! use droidracer::core::Analysis;
+//! use droidracer::core::AnalysisBuilder;
 //!
 //! // An activity whose background loader races with a button handler.
 //! let mut b = AppBuilder::new("Quickstart");
@@ -40,18 +45,22 @@
 //!
 //! let compiled = compile(&b.finish(), &[UiEvent::Widget(show, UiEventKind::Click)])?;
 //! let result = run(&compiled.program, &mut RandomScheduler::new(7), &SimConfig::default())?;
-//! let analysis = Analysis::run(&result.trace);
+//! let analysis = AnalysisBuilder::new().analyze(&result.trace)?;
 //! assert_eq!(analysis.races().len(), 1);
 //! println!("{}", analysis.render());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), droidracer::Error>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod error;
+
 pub use droidracer_apps as apps;
 pub use droidracer_core as core;
 pub use droidracer_explorer as explorer;
 pub use droidracer_framework as framework;
+pub use droidracer_obs as obs;
 pub use droidracer_sim as sim;
 pub use droidracer_trace as trace;
+pub use error::Error;

@@ -89,6 +89,30 @@ fn unmerged_graph_matches_reference() {
     assert_closure_equivalent(&trace, config, &format!("{} unmerged", entry.name));
 }
 
+/// The deprecated `Analysis::run` shim delegates to `AnalysisBuilder`: the
+/// races, category counts and engine counters are identical on the corpus.
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_shim_matches_builder() {
+    use droidracer::core::{Analysis, AnalysisBuilder};
+    for entry in corpus() {
+        let trace = entry.generate_trace().expect("corpus entries generate");
+        let legacy = Analysis::run(&trace);
+        let built = AnalysisBuilder::new()
+            .analyze(&trace)
+            .expect("infallible without validation");
+        assert_eq!(legacy.races(), built.races(), "{}", entry.name);
+        assert_eq!(legacy.counts(), built.counts(), "{}", entry.name);
+        assert_eq!(legacy.hb().stats(), built.hb().stats(), "{}", entry.name);
+        assert_eq!(
+            legacy.representatives(),
+            built.representatives(),
+            "{}",
+            entry.name
+        );
+    }
+}
+
 /// Derives a small valid app from fuzz bytes: handlers posting forward
 /// (plain, delayed and front posts), a worker thread, locks, and shared
 /// variables — enough surface to exercise FIFO, NOPRE, LOCK and both

@@ -140,7 +140,7 @@ fn coverage_triage_collapses_browser_false_positives() {
     // the 66 reports to a handful of independent roots.
     let entry = droidracer::apps::browser();
     let trace = entry.generate_trace().expect("runs");
-    let analysis = droidracer::core::Analysis::run(&trace);
+    let analysis = droidracer::core::AnalysisBuilder::new().analyze(&trace).unwrap();
     let report = droidracer::core::race_coverage(&analysis);
     assert_eq!(report.total(), 66);
     assert!(

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use droidracer::core::{Analysis, RaceCategory};
+use droidracer::core::{AnalysisBuilder, RaceCategory};
 use droidracer::trace::{from_text, to_text, validate, TraceStats};
 
 const AARD_TRACE: &str = include_str!("data/aard_dictionary.trace");
@@ -24,7 +24,7 @@ fn golden_aard_trace_parses_and_validates() {
 #[test]
 fn golden_aard_trace_analyzes_to_the_known_race() {
     let trace = from_text(AARD_TRACE).expect("golden trace parses");
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     let reps = analysis.representatives();
     assert_eq!(reps.len(), 1);
     assert_eq!(reps[0].category, RaceCategory::Multithreaded);

@@ -1,7 +1,7 @@
 //! Integration test for experiment E4: the exact traces of Figures 3 and 4
 //! and their happens-before analysis, plus the simulated §2 music player.
 
-use droidracer::core::{Analysis, RaceCategory};
+use droidracer::core::{AnalysisBuilder, RaceCategory};
 use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
 use droidracer::trace::{validate, ThreadKind, Trace, TraceBuilder};
@@ -57,7 +57,7 @@ fn paper_trace(back: bool) -> Trace {
 fn figure_3_trace_is_feasible_and_race_free() {
     let trace = paper_trace(false);
     assert_eq!(validate(&trace), Ok(()));
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
 
     // The figure's edges.
     let hb = analysis.hb();
@@ -77,7 +77,7 @@ fn figure_3_trace_is_feasible_and_race_free() {
 fn figure_4_trace_has_exactly_the_two_races() {
     let trace = paper_trace(true);
     assert_eq!(validate(&trace), Ok(()));
-    let analysis = Analysis::run(&trace);
+    let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     let hb = analysis.hb();
 
     // The enable edge kills the (7,21) false positive.
@@ -128,7 +128,7 @@ fn simulated_play_scenario_is_race_free_on_the_flag() {
         )
         .expect("runs");
         assert!(result.completed, "seed {seed}");
-        let analysis = Analysis::run(&result.trace);
+        let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
         assert!(
             analysis.races().is_empty(),
             "seed {seed}: {}",
@@ -150,7 +150,7 @@ fn simulated_back_scenario_reports_the_figure_4_races() {
             &SimConfig::default(),
         )
         .expect("runs");
-        let analysis = Analysis::run(&result.trace);
+        let analysis = AnalysisBuilder::new().analyze(&result.trace).unwrap();
         seen_mt |= analysis.count(RaceCategory::Multithreaded) > 0;
         seen_cross |= analysis.count(RaceCategory::CrossPosted) > 0;
     }

@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use droidracer::core::Analysis;
+use droidracer::core::AnalysisBuilder;
 use droidracer::sim::{
     explore_schedules, explore_schedules_reduced, Action, ExploreConfig, Program, ProgramBuilder,
     ThreadSpec,
@@ -119,7 +119,7 @@ fn reported_races(
 ) -> BTreeMap<MemLoc, BTreeSet<(Site, Site)>> {
     let mut out: BTreeMap<MemLoc, BTreeSet<(Site, Site)>> = BTreeMap::new();
     for run in runs {
-        let analysis = Analysis::run(&run.trace);
+        let analysis = AnalysisBuilder::new().analyze(&run.trace).unwrap();
         let trace = analysis.trace();
         let index = trace.index();
         let site = |i: usize| {

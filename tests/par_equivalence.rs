@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 
 use droidracer::apps::{analyze_corpus_parallel, corpus, open_source_corpus};
-use droidracer::core::{analyze_all, par_map, Analysis};
+use droidracer::core::{analyze_all, par_map, Analysis, AnalysisBuilder};
 use droidracer::explorer::{run_campaign, run_campaign_parallel, ExplorerConfig};
 use droidracer::framework::{compile, App, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
@@ -224,7 +224,7 @@ proptest! {
             .enumerate()
             .map(|(i, bytes)| simulate(bytes, seed.wrapping_add(i as u64)))
             .collect();
-        let sequential: Vec<Analysis> = traces.iter().map(Analysis::run).collect();
+        let sequential: Vec<Analysis> = traces.iter().map(|t| AnalysisBuilder::new().analyze(t).unwrap()).collect();
         for threads in THREAD_COUNTS {
             let parallel = analyze_all(&traces, threads);
             prop_assert_eq!(parallel.len(), sequential.len());

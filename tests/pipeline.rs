@@ -4,7 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use droidracer::core::{vc, Analysis, HbMode};
+use droidracer::core::{vc, AnalysisBuilder, HbMode};
 use droidracer::explorer::{enumerate_sequences, run_campaign, run_sequence, ExplorerConfig};
 use droidracer::framework::{App, AppBuilder, Stmt, UiEventKind};
 use droidracer::trace::{validate, MemLoc};
@@ -50,7 +50,7 @@ fn campaign_finds_the_cache_race_in_some_test() {
     let campaign = run_campaign(&app, &config).expect("campaign runs");
     let mut racy = 0;
     for (_, result) in &campaign.runs {
-        if !Analysis::run(&result.trace).races().is_empty() {
+        if !AnalysisBuilder::new().analyze(&result.trace).unwrap().races().is_empty() {
             racy += 1;
         }
     }
@@ -121,7 +121,7 @@ fn vector_clock_matches_graph_mt_baseline_on_explored_traces() {
             .map(|r| r.loc)
             .collect();
         let graph_locs: BTreeSet<MemLoc> =
-            Analysis::run_mode(&result.trace, HbMode::MultithreadedOnly)
+            AnalysisBuilder::new().mode(HbMode::MultithreadedOnly).analyze(&result.trace).unwrap()
                 .races()
                 .iter()
                 .map(|cr| cr.race.loc)
@@ -143,13 +143,13 @@ fn full_mode_races_are_a_subset_of_events_as_threads() {
     };
     for events in enumerate_sequences(&app, &config) {
         let result = run_sequence(&app, &events, &config).expect("runs");
-        let full: BTreeSet<MemLoc> = Analysis::run(&result.trace)
+        let full: BTreeSet<MemLoc> = AnalysisBuilder::new().analyze(&result.trace).unwrap()
             .races()
             .iter()
             .map(|cr| cr.race.loc)
             .collect();
         let baseline: BTreeSet<MemLoc> =
-            Analysis::run_mode(&result.trace, HbMode::EventsAsThreads)
+            AnalysisBuilder::new().mode(HbMode::EventsAsThreads).analyze(&result.trace).unwrap()
                 .races()
                 .iter()
                 .map(|cr| cr.race.loc)
@@ -174,8 +174,8 @@ fn text_format_roundtrips_explored_traces() {
         let back = droidracer::trace::from_text(&text).expect("parses");
         assert_eq!(back.ops(), result.trace.ops());
         // The round-tripped trace analyzes identically.
-        let a = Analysis::run(&result.trace);
-        let b = Analysis::run(&back);
+        let a = AnalysisBuilder::new().analyze(&result.trace).unwrap();
+        let b = AnalysisBuilder::new().analyze(&back).unwrap();
         assert_eq!(a.races(), b.races());
     }
 }

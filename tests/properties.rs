@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use droidracer::core::{vc, Analysis, HbConfig, HbMode, RaceCategory};
+use droidracer::core::{vc, Analysis, AnalysisBuilder, HbConfig, HbMode, RaceCategory};
 use droidracer::framework::{compile, App, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
 use droidracer::trace::{validate, MemLoc, Trace};
@@ -227,8 +227,8 @@ proptest! {
     #[test]
     fn node_merging_preserves_races(bytes in proptest::collection::vec(any::<u8>(), 0..160), seed in 0u64..500) {
         let trace = simulate(&bytes, seed);
-        let merged = Analysis::run_with(&trace, HbConfig::new());
-        let unmerged = Analysis::run_with(&trace, HbConfig::new().without_merging());
+        let merged = AnalysisBuilder::new().config(HbConfig::new()).analyze(&trace).unwrap();
+        let unmerged = AnalysisBuilder::new().config(HbConfig::new().without_merging()).analyze(&trace).unwrap();
         prop_assert_eq!(race_keys(&merged), race_keys(&unmerged));
     }
 
@@ -236,7 +236,7 @@ proptest! {
     #[test]
     fn hb_never_orders_backwards(bytes in proptest::collection::vec(any::<u8>(), 0..120), seed in 0u64..500) {
         let trace = simulate(&bytes, seed);
-        let analysis = Analysis::run(&trace);
+        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
         let n = analysis.trace().len();
         // Sample pairs rather than the full quadratic set.
         for i in (0..n).step_by(3) {
@@ -252,10 +252,10 @@ proptest! {
     #[test]
     fn mode_monotonicity(bytes in proptest::collection::vec(any::<u8>(), 0..160), seed in 0u64..500) {
         let trace = simulate(&bytes, seed);
-        let full = Analysis::run(&trace);
-        let weaker = Analysis::run_mode(&trace, HbMode::EventsAsThreads);
+        let full = AnalysisBuilder::new().analyze(&trace).unwrap();
+        let weaker = AnalysisBuilder::new().mode(HbMode::EventsAsThreads).analyze(&trace).unwrap();
         prop_assert!(race_locs(&full).is_subset(&race_locs(&weaker)));
-        let naive = Analysis::run_mode(&trace, HbMode::NaiveCombined);
+        let naive = AnalysisBuilder::new().mode(HbMode::NaiveCombined).analyze(&trace).unwrap();
         prop_assert!(race_locs(&naive).is_subset(&race_locs(&full)));
     }
 
@@ -268,7 +268,7 @@ proptest! {
             vc::detect_multithreaded(&trace).iter().map(|r| r.loc).collect();
         let ft_locs: BTreeSet<MemLoc> =
             droidracer::core::fasttrack::detect(&trace).iter().map(|r| r.loc).collect();
-        let graph = Analysis::run_mode(&trace, HbMode::MultithreadedOnly);
+        let graph = AnalysisBuilder::new().mode(HbMode::MultithreadedOnly).analyze(&trace).unwrap();
         prop_assert_eq!(&vc_locs, &race_locs(&graph));
         prop_assert_eq!(&ft_locs, &vc_locs);
     }
