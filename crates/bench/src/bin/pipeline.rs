@@ -23,6 +23,7 @@ use droidracer_core::{
     analyze_all, analyze_all_profiled, default_threads, par_map, Analysis, AnalysisBuilder,
     EngineStats, HbConfig,
 };
+use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
 use droidracer_trace::Trace;
 
@@ -125,6 +126,31 @@ fn main() {
     for analysis in &reference {
         registry.absorb(&analysis.metrics());
     }
+
+    // A seeded differential-fuzzing session rides along so the bench JSON
+    // surfaces the witnessing counters and pins `fuzz.oracle_divergences`
+    // at zero on every bench run, not just in CI's smoke job.
+    let fuzz_report = run_fuzz(&FuzzConfig {
+        seed: 0xD201D,
+        iters: 150,
+        ..FuzzConfig::default()
+    });
+    assert_eq!(
+        fuzz_report.oracle_divergences(),
+        0,
+        "differential fuzz session diverged:\n{}",
+        fuzz_report.render()
+    );
+    fuzz_report.export_metrics(&mut registry);
+    println!(
+        "fuzz smoke (seed 0x{:X}): {} iterations, {} races, witnessed {}, \
+         unwitnessed {}, oracle divergences 0\n",
+        fuzz_report.seed,
+        fuzz_report.iterations,
+        fuzz_report.races_found,
+        fuzz_report.total_witnessed(),
+        fuzz_report.total_unwitnessed(),
+    );
 
     // Profile determinism check: the exported span structure — not just the
     // reports — must be bit-identical across thread counts once the

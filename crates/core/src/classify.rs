@@ -125,10 +125,9 @@ mod tests {
     use super::*;
     use crate::race::detect;
     use crate::rules::HbConfig;
-    use droidracer_trace::{validate, ThreadKind, TraceBuilder};
+    use droidracer_trace::{ThreadKind, TraceBuilder};
 
     fn classify_single_race(trace: &Trace) -> RaceCategory {
-        assert_eq!(validate(trace), Ok(()));
         let hb = HappensBefore::compute(trace, HbConfig::new());
         let races = detect(trace, &hb);
         assert_eq!(races.len(), 1, "expected exactly one race, got {races:?}");
@@ -146,7 +145,7 @@ mod tests {
         b.thread_init(bg);
         b.write(bg, loc);
         b.read(main, loc);
-        assert_eq!(classify_single_race(&b.finish()), RaceCategory::Multithreaded);
+        assert_eq!(classify_single_race(&b.finish_validated().expect("feasible trace")), RaceCategory::Multithreaded);
     }
 
     #[test]
@@ -174,7 +173,7 @@ mod tests {
         // The two posts are made outside any task on the looping thread, so
         // they are unordered; the handler tasks race and the most recent env
         // posts (3, 4) are unordered → co-enabled.
-        assert_eq!(classify_single_race(&b.finish()), RaceCategory::CoEnabled);
+        assert_eq!(classify_single_race(&b.finish_validated().expect("feasible trace")), RaceCategory::CoEnabled);
     }
 
     #[test]
@@ -197,7 +196,7 @@ mod tests {
         b.begin(main, slow);
         b.write(main, loc);
         b.end(main, slow);
-        assert_eq!(classify_single_race(&b.finish()), RaceCategory::Delayed);
+        assert_eq!(classify_single_race(&b.finish_validated().expect("feasible trace")), RaceCategory::Delayed);
     }
 
     #[test]
@@ -222,7 +221,7 @@ mod tests {
         b.begin(main, t2);
         b.write(main, loc);
         b.end(main, t2);
-        assert_eq!(classify_single_race(&b.finish()), RaceCategory::CrossPosted);
+        assert_eq!(classify_single_race(&b.finish_validated().expect("feasible trace")), RaceCategory::CrossPosted);
     }
 
     #[test]
@@ -247,7 +246,7 @@ mod tests {
         b.begin(main, t2);
         b.write(main, loc);
         b.end(main, t2);
-        assert_eq!(classify_single_race(&b.finish()), RaceCategory::Unknown);
+        assert_eq!(classify_single_race(&b.finish_validated().expect("feasible trace")), RaceCategory::Unknown);
     }
 
     #[test]
@@ -274,8 +273,7 @@ mod tests {
         b.begin(main, h2);
         b.write(main, loc);
         b.end(main, h2);
-        let trace = b.finish();
-        assert_eq!(validate(&trace), Ok(()));
+        let trace = b.finish_validated().expect("feasible trace");
         let hb = HappensBefore::compute(&trace, HbConfig::new());
         let races = detect(&trace, &hb);
         // h1 ≺ h2 by NOPRE (h1 posts h2), so actually no race here at all.

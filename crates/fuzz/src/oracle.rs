@@ -1,0 +1,327 @@
+//! The differential oracle stack.
+//!
+//! Every feasible trace produced by the fuzzer passes through three layers:
+//!
+//! 1. **Closure differential** — the incremental worklist engine
+//!    ([`HappensBefore::compute`]) against the retained naive saturation
+//!    ([`HappensBefore::compute_reference`]). The closed `st`/`mt` matrices
+//!    must be bit-identical and the semantic counters (base edges,
+//!    FIFO/NOPRE firings, TRANS-ST/TRANS-MT deltas, rounds, relation size)
+//!    must match exactly; only the perf counters (`word_ops`,
+//!    `worklist_pops`, …) may differ.
+//! 2. **Detector differential** — `vc::detect_multithreaded` (DJIT⁺) vs
+//!    `fasttrack::detect`: two independent implementations of the
+//!    multi-threaded restriction must flag the same racy locations.
+//! 3. **Internal invariants** — the relation is irreflexive, never orders an
+//!    op before a trace-earlier op, and classification partitions the race
+//!    set (category totals equal the race count).
+//!
+//! The incremental and reference engines take *separate* configurations so
+//! the mutation self-test can flip one rule on one side and prove the
+//! harness notices (ISSUE 4 acceptance criterion).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use droidracer_core::{classify, fasttrack, find_races, vc, HappensBefore, HbConfig};
+use droidracer_core::{CategoryCounts, Race, RaceCategory};
+use droidracer_trace::{validate, Trace};
+
+/// The oracle layer a divergence was caught by. Discriminants double as the
+/// shrinker's "same bug" predicate: a candidate reproduces a failure when it
+/// triggers a divergence of the same kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DivergenceKind {
+    /// The trace failed the Figure 5 feasibility checker.
+    Infeasible,
+    /// Incremental and reference closures disagree on a relation matrix.
+    ClosureMatrix,
+    /// Incremental and reference closures disagree on a semantic counter.
+    ClosureStats,
+    /// DJIT⁺ and FastTrack flag different racy-location sets.
+    VcVsFastTrack,
+    /// `op ≺ op` holds for some operation.
+    Irreflexivity,
+    /// The relation orders an operation before a trace-earlier one.
+    TraceOrder,
+    /// Classification does not partition the race set.
+    Partition,
+    /// Replaying a recorded decision vector produced a different trace.
+    Replay,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::Infeasible => "infeasible-trace",
+            DivergenceKind::ClosureMatrix => "closure-matrix",
+            DivergenceKind::ClosureStats => "closure-stats",
+            DivergenceKind::VcVsFastTrack => "vc-vs-fasttrack",
+            DivergenceKind::Irreflexivity => "irreflexivity",
+            DivergenceKind::TraceOrder => "trace-order",
+            DivergenceKind::Partition => "partition",
+            DivergenceKind::Replay => "replay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One oracle failure: the layer that fired plus a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which oracle layer fired.
+    pub kind: DivergenceKind,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+/// The oracle verdict for one trace: any divergences plus the artifacts the
+/// witnessing and coverage stages reuse (the stripped trace, the closed
+/// relation, classified races).
+#[derive(Debug)]
+pub struct OracleReport {
+    /// Divergences found, empty on a clean pass.
+    pub divergences: Vec<Divergence>,
+    /// The cancellation-stripped trace race indices refer to.
+    pub stripped: Trace,
+    /// The incremental-engine relation over `stripped`.
+    pub hb: HappensBefore,
+    /// Races with their §4.3 categories.
+    pub races: Vec<(Race, RaceCategory)>,
+    /// Category totals.
+    pub counts: CategoryCounts,
+}
+
+impl OracleReport {
+    /// Whether every oracle layer passed.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Runs the full oracle stack over `trace`.
+///
+/// `incremental` configures the worklist engine, `reference` the naive
+/// saturation; production callers pass the same configuration twice, the
+/// mutation self-test flips one rule on the incremental side.
+pub fn check_trace(trace: &Trace, incremental: HbConfig, reference: HbConfig) -> OracleReport {
+    let mut divergences = Vec::new();
+
+    if let Err(e) = validate(trace) {
+        divergences.push(Divergence {
+            kind: DivergenceKind::Infeasible,
+            detail: format!("{e}"),
+        });
+    }
+
+    let stripped = trace.without_cancelled();
+    let hb = HappensBefore::compute(&stripped, incremental);
+    let refc = HappensBefore::compute_reference(&stripped, reference);
+    divergences.extend(closure_differential(&hb, &refc));
+    divergences.extend(detector_differential(&stripped));
+    divergences.extend(relation_invariants(&stripped, &hb));
+
+    let index = stripped.index();
+    let races = find_races(&stripped, &hb);
+    let mut counts = CategoryCounts::default();
+    let races: Vec<(Race, RaceCategory)> = races
+        .into_iter()
+        .map(|r| {
+            let cat = classify(&stripped, &index, &hb, &r);
+            counts.add(cat, 1);
+            (r, cat)
+        })
+        .collect();
+    if counts.total() != races.len() {
+        divergences.push(Divergence {
+            kind: DivergenceKind::Partition,
+            detail: format!(
+                "category totals {} != race count {}",
+                counts.total(),
+                races.len()
+            ),
+        });
+    }
+
+    OracleReport {
+        divergences,
+        stripped,
+        hb,
+        races,
+        counts,
+    }
+}
+
+/// Layer 1: incremental vs reference closure, bit for bit.
+fn closure_differential(inc: &HappensBefore, refc: &HappensBefore) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let (ip, im) = inc.relation_matrices();
+    let (rp, rm) = refc.relation_matrices();
+    if ip != rp {
+        out.push(Divergence {
+            kind: DivergenceKind::ClosureMatrix,
+            detail: format!(
+                "st/plain matrix differs: incremental has {} set bits, reference {}",
+                ip.count_ones(),
+                rp.count_ones()
+            ),
+        });
+    }
+    if im != rm {
+        out.push(Divergence {
+            kind: DivergenceKind::ClosureMatrix,
+            detail: format!(
+                "mt matrix differs: incremental has {:?} set bits, reference {:?}",
+                im.map(|m| m.count_ones()),
+                rm.map(|m| m.count_ones())
+            ),
+        });
+    }
+    let (i, r) = (inc.stats(), refc.stats());
+    let counters = [
+        ("base_edges", i.base_edges, r.base_edges),
+        ("fifo_fired", i.fifo_fired, r.fifo_fired),
+        ("nopre_fired", i.nopre_fired, r.nopre_fired),
+        ("trans_st_edges", i.trans_st_edges, r.trans_st_edges),
+        ("trans_mt_edges", i.trans_mt_edges, r.trans_mt_edges),
+        ("ordered_pairs", inc.ordered_pairs(), refc.ordered_pairs()),
+    ];
+    for (name, a, b) in counters {
+        if a != b {
+            out.push(Divergence {
+                kind: DivergenceKind::ClosureStats,
+                detail: format!("{name}: incremental {a} != reference {b}"),
+            });
+        }
+    }
+    out
+}
+
+/// Layer 2: DJIT⁺ vs FastTrack on the multi-threaded restriction. The two
+/// detectors report representative races differently (DJIT⁺ one per
+/// location, FastTrack per epoch check), so they are compared on the set of
+/// racy *locations*, which both guarantee to flag.
+fn detector_differential(stripped: &Trace) -> Vec<Divergence> {
+    let djit: BTreeSet<_> = vc::detect_multithreaded(stripped)
+        .into_iter()
+        .map(|r| r.loc)
+        .collect();
+    let ft: BTreeSet<_> = fasttrack::detect(stripped)
+        .into_iter()
+        .map(|r| r.loc)
+        .collect();
+    if djit != ft {
+        let names = stripped.names();
+        let only_djit: Vec<String> = djit.difference(&ft).map(|l| names.loc_name(*l)).collect();
+        let only_ft: Vec<String> = ft.difference(&djit).map(|l| names.loc_name(*l)).collect();
+        return vec![Divergence {
+            kind: DivergenceKind::VcVsFastTrack,
+            detail: format!(
+                "racy locations disagree: only DJIT+ {only_djit:?}, only FastTrack {only_ft:?}"
+            ),
+        }];
+    }
+    Vec::new()
+}
+
+/// Layer 3: irreflexivity and trace-order consistency. `ordered` is
+/// deliberately reflexive at the *op* level (as in the paper), so strict
+/// irreflexivity is checked on the closed matrices: a set diagonal bit
+/// would mean the closure derived a cycle. Every happens-before edge points
+/// forward in the trace, so `j ≺ i` with `j` after `i` indicates a closure
+/// bug too.
+fn relation_invariants(stripped: &Trace, hb: &HappensBefore) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let (primary, mt) = hb.relation_matrices();
+    for (name, matrix) in [("st/plain", Some(primary)), ("mt", mt)] {
+        let Some(matrix) = matrix else { continue };
+        if let Some(a) = (0..matrix.len()).find(|&a| matrix.get(a, a)) {
+            out.push(Divergence {
+                kind: DivergenceKind::Irreflexivity,
+                detail: format!("{name} matrix has node {a} ≺ itself"),
+            });
+        }
+    }
+    let n = stripped.len();
+    'outer: for i in 0..n {
+        for j in i + 1..n {
+            if hb.ordered(j, i) {
+                out.push(Divergence {
+                    kind: DivergenceKind::TraceOrder,
+                    detail: format!("op {j} ≺ op {i} against trace order"),
+                });
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_core::RuleSet;
+    use droidracer_trace::{ThreadKind, TraceBuilder};
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let bg = b.thread("bg", ThreadKind::App, false);
+        let loc = b.loc("obj", "C.state");
+        b.thread_init(main);
+        b.fork(main, bg);
+        b.thread_init(bg);
+        b.write(bg, loc);
+        b.read(main, loc);
+        b.finish_validated().expect("feasible")
+    }
+
+    #[test]
+    fn clean_trace_passes_all_layers() {
+        let report = check_trace(&racy_trace(), HbConfig::new(), HbConfig::new());
+        assert!(report.clean(), "{:?}", report.divergences);
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.counts.total(), 1);
+    }
+
+    #[test]
+    fn rule_flip_is_caught_by_closure_differential() {
+        let mutated = HbConfig {
+            rules: RuleSet {
+                fork: false,
+                ..RuleSet::full()
+            },
+            merge_accesses: true,
+        };
+        let report = check_trace(&racy_trace(), mutated, HbConfig::new());
+        assert!(
+            report
+                .divergences
+                .iter()
+                .any(|d| matches!(d.kind, DivergenceKind::ClosureMatrix | DivergenceKind::ClosureStats)),
+            "{:?}",
+            report.divergences
+        );
+    }
+
+    #[test]
+    fn infeasible_trace_is_flagged() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("main", ThreadKind::Main, true);
+        let task = b.task("T");
+        b.thread_init(t);
+        b.begin(t, task);
+        let trace = b.finish();
+        let report = check_trace(&trace, HbConfig::new(), HbConfig::new());
+        assert!(report
+            .divergences
+            .iter()
+            .any(|d| d.kind == DivergenceKind::Infeasible));
+    }
+}

@@ -670,15 +670,18 @@ impl<'p> Runtime<'p> {
             }
             Action::Cancel(task) => {
                 // Remove the oldest pending instance of the def, if any.
-                let mut found = None;
-                'outer: for queue in self.queues.values() {
-                    for entry in queue {
-                        if entry.def == task.0 {
-                            found = Some(entry.instance);
-                            break 'outer;
-                        }
-                    }
-                }
+                // Instance ids are minted in post order, so the minimum
+                // pending id *is* the oldest; selecting by id (rather than
+                // by queue iteration order, which for a HashMap varies per
+                // process) keeps cancellation — and therefore decision-
+                // vector replay — deterministic.
+                let found = self
+                    .queues
+                    .values()
+                    .flatten()
+                    .filter(|entry| entry.def == task.0)
+                    .map(|entry| entry.instance)
+                    .min();
                 if let Some(instance) = found {
                     for queue in self.queues.values_mut() {
                         if let Some(pos) = queue.iter().position(|e| e.instance == instance) {

@@ -98,9 +98,14 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Creates a scheduler from a seed.
     pub fn new(seed: u64) -> Self {
-        RandomScheduler {
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        Self::from_rng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Creates a scheduler from an existing generator, so a harness can
+    /// thread one master [`SmallRng`] through every random strategy and
+    /// reproduce a whole run byte-identically from a single seed.
+    pub fn from_rng(rng: SmallRng) -> Self {
+        RandomScheduler { rng }
     }
 }
 
@@ -124,9 +129,15 @@ pub struct StallScheduler {
 impl StallScheduler {
     /// Creates a scheduler that starves `stalled` whenever possible.
     pub fn new(stalled: ThreadId, seed: u64) -> Self {
+        Self::from_rng(stalled, SmallRng::seed_from_u64(seed))
+    }
+
+    /// Creates a stalling scheduler from an existing generator (see
+    /// [`RandomScheduler::from_rng`]).
+    pub fn from_rng(stalled: ThreadId, rng: SmallRng) -> Self {
         StallScheduler {
             stalled,
-            inner: RandomScheduler::new(seed),
+            inner: RandomScheduler::from_rng(rng),
         }
     }
 }
@@ -222,6 +233,16 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn from_rng_matches_seeded_construction() {
+        let cs = choices(&[0, 1, 2, 3]);
+        let mut seeded = RandomScheduler::new(99);
+        let mut threaded = RandomScheduler::from_rng(SmallRng::seed_from_u64(99));
+        for _ in 0..32 {
+            assert_eq!(seeded.choose(&cs), threaded.choose(&cs));
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::ids::{EventId, LockId, MemLoc, TaskId, ThreadId, ThreadKind};
 use crate::names::Names;
 use crate::op::{Op, OpKind, PostKind};
 use crate::trace::Trace;
+use crate::validate::{validate, ValidateError};
 
 /// Builds a [`Trace`] operation by operation.
 ///
@@ -214,6 +215,20 @@ impl TraceBuilder {
     pub fn finish(self) -> Trace {
         Trace::from_parts(self.names, self.ops)
     }
+
+    /// Finalizes the trace and runs the Figure 5 semantics checker on it,
+    /// so callers that need a *feasible* trace — oracles, fuzz and shrink
+    /// loops — cannot accidentally hand an infeasible one downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ValidateError`] describing the first semantics
+    /// violation in the built trace.
+    pub fn finish_validated(self) -> Result<Trace, ValidateError> {
+        let trace = self.finish();
+        validate(&trace)?;
+        Ok(trace)
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +246,31 @@ mod tests {
         assert_eq!(b.len(), 3);
         let trace = b.finish();
         assert_eq!(trace.op(1).kind, OpKind::Write { loc });
+    }
+
+    #[test]
+    fn finish_validated_accepts_feasible_traces() {
+        let mut b = TraceBuilder::new();
+        let t = b.thread("main", ThreadKind::Main, true);
+        let task = b.task("T");
+        b.thread_init(t);
+        b.attach_q(t);
+        b.loop_on_q(t);
+        b.post(t, task, t);
+        b.begin(t, task);
+        b.end(t, task);
+        assert!(b.finish_validated().is_ok());
+    }
+
+    #[test]
+    fn finish_validated_rejects_infeasible_traces() {
+        // A task begins on a thread that never attached a queue.
+        let mut b = TraceBuilder::new();
+        let t = b.thread("main", ThreadKind::Main, true);
+        let task = b.task("T");
+        b.thread_init(t);
+        b.begin(t, task);
+        assert!(b.finish_validated().is_err());
     }
 
     #[test]

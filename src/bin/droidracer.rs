@@ -9,6 +9,8 @@
 //! droidracer stats <trace-file>
 //! droidracer corpus <app-name> [--out FILE]   # dump a corpus trace
 //! droidracer explore <app-name> [depth] [--profile FILE]
+//! droidracer fuzz [--seed N] [--iters N] [--time-budget SECS]
+//!                 [--profile FILE] [--regressions DIR] [--save-failures DIR]
 //! ```
 //!
 //! Modes: full (default), mt-only, async-only, naive-combined,
@@ -19,7 +21,8 @@
 use std::process::ExitCode;
 
 use droidracer::apps;
-use droidracer::core::{AnalysisBuilder, HbMode};
+use droidracer::core::{AnalysisBuilder, HbConfig, HbMode};
+use droidracer::fuzz::{corpus::replay_regressions, corpus::save_regression, FuzzConfig};
 use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
 use droidracer::trace::{from_text, to_text, validate, Trace, TraceStats};
 use droidracer::Error;
@@ -39,7 +42,15 @@ fn usage() -> ExitCode {
   droidracer validate <trace-file>
   droidracer stats <trace-file>
   droidracer corpus <app-name> [--out FILE]
-  droidracer explore <app-name> [depth] [--profile FILE]"
+  droidracer explore <app-name> [depth] [--profile FILE]
+  droidracer fuzz [options]
+      --seed N          master seed (decimal or 0x-hex; default 0xD201D)
+      --iters N         fuzz iterations (default 200)
+      --time-budget S   wall-clock cutoff in seconds
+      --regressions DIR regression corpus to replay
+                        (default tests/data/fuzz_regressions when present)
+      --save-failures DIR  write shrunk failing traces into DIR
+      --profile FILE    write a Chrome trace_event profile of the session"
     );
     ExitCode::from(2)
 }
@@ -222,6 +233,137 @@ fn cmd_analyze(path: &str, opts: &AnalyzeOpts) -> Result<ExitCode, Error> {
     })
 }
 
+/// Parses a decimal or `0x`-prefixed hexadecimal integer.
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+struct FuzzOpts {
+    config: FuzzConfig,
+    regressions: Option<String>,
+    save_failures: Option<String>,
+    profile_file: Option<String>,
+}
+
+fn parse_fuzz_opts(args: &[String]) -> Option<FuzzOpts> {
+    let mut opts = FuzzOpts {
+        config: FuzzConfig::default(),
+        regressions: None,
+        save_failures: None,
+        profile_file: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.config.seed = args.get(i + 1).and_then(|s| parse_u64(s))?;
+                i += 2;
+            }
+            "--iters" => {
+                opts.config.iters = args.get(i + 1).and_then(|s| parse_u64(s))?;
+                i += 2;
+            }
+            "--time-budget" => {
+                let secs = args.get(i + 1).and_then(|s| parse_u64(s))?;
+                opts.config.time_budget = Some(std::time::Duration::from_secs(secs));
+                i += 2;
+            }
+            "--regressions" => {
+                opts.regressions = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--save-failures" => {
+                opts.save_failures = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--profile" => {
+                opts.profile_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+/// Default regression corpus location, used when it exists and no explicit
+/// `--regressions` directory was given.
+const DEFAULT_REGRESSIONS: &str = "tests/data/fuzz_regressions";
+
+fn cmd_fuzz(opts: &FuzzOpts) -> Result<ExitCode, Error> {
+    let mut failed = false;
+
+    // Replay the committed regression corpus first: fast, deterministic,
+    // and exactly what the CI smoke job gates on.
+    let regression_dir = opts
+        .regressions
+        .clone()
+        .or_else(|| {
+            std::path::Path::new(DEFAULT_REGRESSIONS)
+                .is_dir()
+                .then(|| DEFAULT_REGRESSIONS.to_owned())
+        });
+    if let Some(dir) = &regression_dir {
+        let replays = replay_regressions(std::path::Path::new(dir), HbConfig::new())?;
+        let mut clean = 0usize;
+        for (path, divergences) in &replays {
+            if divergences.is_empty() {
+                clean += 1;
+            } else {
+                failed = true;
+                eprintln!("regression {} DIVERGES:", path.display());
+                for d in divergences {
+                    eprintln!("  {d}");
+                }
+            }
+        }
+        println!(
+            "regressions: {clean}/{} clean ({dir})",
+            replays.len()
+        );
+    }
+
+    let mut rec = Recorder::new();
+    rec.start("fuzz");
+    let report = droidracer::fuzz::run_fuzz(&opts.config);
+    rec.counter("iterations", report.iterations);
+    rec.counter("trace_ops", report.total_ops);
+    rec.counter("races", report.races_found);
+    rec.end();
+    print!("{}", report.render());
+    if report.oracle_divergences() > 0 {
+        failed = true;
+    }
+
+    if let Some(dir) = &opts.save_failures {
+        for f in &report.failures {
+            if let Some(shrunk) = &f.shrunk {
+                let name = format!("seed_{:x}_iter_{}", f.master_seed, f.iteration);
+                let path = save_regression(std::path::Path::new(dir), &name, shrunk)?;
+                println!("shrunk failing trace written to {}", path.display());
+            }
+        }
+    }
+
+    if let Some(file) = &opts.profile_file {
+        let mut metrics = MetricsRegistry::new();
+        report.export_metrics(&mut metrics);
+        let root = rec.finish_root();
+        std::fs::write(file, chrome_trace(std::slice::from_ref(&root), &metrics))?;
+        print!("{}", render_span_tree(&root));
+        println!("profile written to {file}");
+    }
+
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_explore(entry: &apps::CorpusEntry, depth: usize, profile: Option<&str>) -> Result<ExitCode, Error> {
     let (summary, span) = entry.explore_profiled(depth, 64, 1)?;
     println!(
@@ -341,6 +483,18 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             };
             match cmd_explore(&entry, depth, profile.as_deref()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fuzz" => {
+            let Some(opts) = parse_fuzz_opts(&args[1..]) else {
+                return usage();
+            };
+            match cmd_fuzz(&opts) {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");

@@ -24,7 +24,9 @@
 //!   planted, ground-truthed races;
 //! * [`obs`] — structured observability: hierarchical span timers, a
 //!   metrics registry, and exporters (span-tree text, Chrome
-//!   `trace_event` JSON).
+//!   `trace_event` JSON);
+//! * [`fuzz`] — coverage-guided differential fuzzing of the engine with
+//!   schedule-replay race witnessing and input shrinking.
 //!
 //! Cross-stage failures unify into [`Error`].
 //!
@@ -60,6 +62,7 @@ pub use droidracer_apps as apps;
 pub use droidracer_core as core;
 pub use droidracer_explorer as explorer;
 pub use droidracer_framework as framework;
+pub use droidracer_fuzz as fuzz;
 pub use droidracer_obs as obs;
 pub use droidracer_sim as sim;
 pub use droidracer_trace as trace;

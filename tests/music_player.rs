@@ -4,7 +4,7 @@
 use droidracer::core::{AnalysisBuilder, RaceCategory};
 use droidracer::framework::{compile, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
-use droidracer::trace::{validate, ThreadKind, Trace, TraceBuilder};
+use droidracer::trace::{ThreadKind, Trace, TraceBuilder};
 
 /// Figure 3 / Figure 4 trace, with paper op `n` at index `n - 1` for
 /// `n ≤ 4` and at index `n` afterwards (one extra `threadinit(t0)`).
@@ -50,13 +50,12 @@ fn paper_trace(back: bool) -> Trace {
         b.end(t1, on_play); // 22
         b.post(t0, on_pause, t1); // 23
     }
-    b.finish()
+    b.finish_validated().expect("the Figure 3/4 trace is feasible")
 }
 
 #[test]
 fn figure_3_trace_is_feasible_and_race_free() {
     let trace = paper_trace(false);
-    assert_eq!(validate(&trace), Ok(()));
     let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
 
     // The figure's edges.
@@ -76,7 +75,6 @@ fn figure_3_trace_is_feasible_and_race_free() {
 #[test]
 fn figure_4_trace_has_exactly_the_two_races() {
     let trace = paper_trace(true);
-    assert_eq!(validate(&trace), Ok(()));
     let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
     let hb = analysis.hb();
 
