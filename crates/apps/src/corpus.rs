@@ -6,7 +6,10 @@ use std::fmt;
 
 use std::collections::BTreeSet;
 
-use droidracer_core::{par_map, par_map_profiled, Analysis, AnalysisBuilder, CategoryCounts, RaceCategory};
+use droidracer_core::{
+    par_map, par_map_profiled, par_try_map, Analysis, AnalysisBuilder, AnalysisError, Budget,
+    CategoryCounts, ItemError, QuarantineCause, Quarantined, RaceCategory,
+};
 use droidracer_obs::SpanRecord;
 use droidracer_explorer::{enumerate_sequences, ExplorerConfig};
 use droidracer_framework::{compile, App, CompileError, UiEvent};
@@ -69,6 +72,8 @@ pub enum CorpusError {
         /// The app that stalled.
         name: &'static str,
     },
+    /// The analysis session failed (validation or budget exhaustion).
+    Analysis(AnalysisError),
 }
 
 impl fmt::Display for CorpusError {
@@ -77,11 +82,18 @@ impl fmt::Display for CorpusError {
             CorpusError::Compile(e) => write!(f, "compile error: {e}"),
             CorpusError::Sim(e) => write!(f, "simulation error: {e}"),
             CorpusError::Incomplete { name } => write!(f, "run of {name} did not complete"),
+            CorpusError::Analysis(e) => write!(f, "analysis error: {e}"),
         }
     }
 }
 
 impl Error for CorpusError {}
+
+impl From<AnalysisError> for CorpusError {
+    fn from(e: AnalysisError) -> Self {
+        CorpusError::Analysis(e)
+    }
+}
 
 impl From<CompileError> for CorpusError {
     fn from(e: CompileError) -> Self {
@@ -124,9 +136,21 @@ impl CorpusEntry {
     ///
     /// See [`CorpusEntry::generate_trace`].
     pub fn analyze(&self) -> Result<EntryReport, CorpusError> {
+        self.analyze_with_budget(&Budget::unlimited())
+    }
+
+    /// Like [`CorpusEntry::analyze`] but under a resource [`Budget`]: an
+    /// entry that blows its budget fails with
+    /// [`CorpusError::Analysis`]`(`[`AnalysisError::BudgetExhausted`]`)`
+    /// instead of hanging or exhausting memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`CorpusEntry::generate_trace`], plus budget exhaustion.
+    pub fn analyze_with_budget(&self, budget: &Budget) -> Result<EntryReport, CorpusError> {
         let trace = self.generate_trace()?;
         let stats = TraceStats::of(&trace);
-        let analysis = AnalysisBuilder::new().analyze(&trace).unwrap();
+        let analysis = AnalysisBuilder::new().budget(*budget).analyze(&trace)?;
         Ok(self.entry_report(stats, analysis))
     }
 
@@ -166,6 +190,40 @@ pub fn analyze_corpus_parallel(
     par_map(entries, threads, CorpusEntry::analyze)
 }
 
+/// Fault-isolated corpus run: like [`analyze_corpus_parallel`], but every
+/// entry runs under `budget` and inside a panic boundary
+/// ([`droidracer_core::par_try_map`]). A panicking, erroring, or
+/// budget-blown entry becomes a [`Quarantined`] verdict at its position;
+/// the sibling entries' reports are bit-identical to a run without the
+/// faulty entry.
+pub fn analyze_corpus_isolated(
+    entries: &[CorpusEntry],
+    threads: usize,
+    budget: &Budget,
+) -> Vec<Result<EntryReport, Quarantined>> {
+    par_try_map(entries, threads, |entry| entry.analyze_with_budget(budget))
+        .into_iter()
+        .zip(entries)
+        .map(|(result, entry)| result.map_err(|err| quarantine(entry.name, err)))
+        .collect()
+}
+
+/// Maps a per-item fan-out failure to its quarantine verdict.
+fn quarantine(input: &str, err: ItemError<CorpusError>) -> Quarantined {
+    let (cause, payload) = match err {
+        ItemError::Panic(msg) => (QuarantineCause::Panic, msg),
+        ItemError::Err(CorpusError::Analysis(AnalysisError::BudgetExhausted(e))) => {
+            (QuarantineCause::BudgetExhausted(e.reason), e.to_string())
+        }
+        ItemError::Err(e) => (QuarantineCause::Error, e.to_string()),
+    };
+    Quarantined {
+        input: input.to_owned(),
+        cause,
+        payload,
+    }
+}
+
 /// Like [`analyze_corpus_parallel`], additionally returning the campaign's
 /// span tree: a root `corpus` span with one child per entry (in corpus
 /// order for every thread count), each wrapping the entry's `generate`
@@ -181,6 +239,8 @@ pub fn analyze_corpus_profiled(
         rec.end();
         let report = trace.map(|trace| {
             let stats = TraceStats::of(&trace);
+            // invariant: a default session (no validation, unlimited
+            // budget) cannot fail.
             let analysis = AnalysisBuilder::new()
                 .clock_origin(rec.origin())
                 .analyze(&trace)
@@ -290,6 +350,8 @@ impl CorpusEntry {
                 rec.end();
                 let result = outcome?;
                 let trace = strip_untracked(&result.trace);
+                // invariant: a default session (no validation, unlimited
+                // budget) cannot fail.
                 let analysis = AnalysisBuilder::new()
                     .clock_origin(rec.origin())
                     .analyze(&trace)

@@ -41,8 +41,8 @@ pub use catalog::{
     tomdroid_notes, twitter,
 };
 pub use corpus::{
-    analyze_corpus_parallel, analyze_corpus_profiled, CorpusEntry, CorpusError, EntryReport,
-    ExplorationSummary, PaperRow,
+    analyze_corpus_isolated, analyze_corpus_parallel, analyze_corpus_profiled, CorpusEntry,
+    CorpusError, EntryReport, ExplorationSummary, PaperRow,
 };
 pub use droidracer_core::RaceCategory;
 pub use motifs::{GroundTruth, MotifBuilder, RaceTruth};

@@ -17,15 +17,15 @@
 
 use std::time::Instant;
 
-use droidracer_apps::corpus;
+use droidracer_apps::{analyze_corpus_isolated, corpus};
 use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
 use droidracer_core::{
     analyze_all, analyze_all_profiled, default_threads, par_map, Analysis, AnalysisBuilder,
-    EngineStats, HbConfig,
+    Budget, EngineStats, HbConfig, QuarantineCause,
 };
 use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
-use droidracer_trace::Trace;
+use droidracer_trace::{from_text_lenient, to_text, Trace};
 
 /// One measured sweep point.
 struct Sample {
@@ -152,6 +152,14 @@ fn main() {
         fuzz_report.total_unwitnessed(),
     );
 
+    // Robustness guard: the clean corpus must sail through the hardened
+    // pipeline untouched — zero quarantines, zero lenient-parse repairs,
+    // zero budget exhaustions. The counters land in the bench JSON so a
+    // regression (a trace that suddenly needs repair, an analysis that
+    // starts panicking under isolation) shows up as a nonzero export even
+    // before the asserts fire.
+    export_robustness_counters(&entries, &traces, &mut registry);
+
     // Profile determinism check: the exported span structure — not just the
     // reports — must be bit-identical across thread counts once the
     // wall-clock fields are stripped.
@@ -184,6 +192,57 @@ fn main() {
 
     maybe_export_profile(&span1, &registry);
     enforce_word_ops_budget(&stats_rows, &registry);
+}
+
+/// Runs the fault-isolated corpus analysis and a lenient re-parse of every
+/// generated trace, exporting `robust.quarantined`, `robust.repairs`, and
+/// `robust.budget_exhausted` — all asserted zero: a clean corpus must not
+/// exercise any recovery or isolation machinery.
+fn export_robustness_counters(
+    entries: &[droidracer_apps::CorpusEntry],
+    traces: &[Trace],
+    registry: &mut MetricsRegistry,
+) {
+    let isolated = analyze_corpus_isolated(entries, default_threads(), &Budget::unlimited());
+    let quarantined = isolated.iter().filter(|r| r.is_err()).count() as u64;
+    let budget_exhausted = isolated
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Err(q) if matches!(q.cause, QuarantineCause::BudgetExhausted(_))
+            )
+        })
+        .count() as u64;
+    let repairs: u64 = traces
+        .iter()
+        .map(|t| match from_text_lenient(&to_text(t)) {
+            Ok((_, diags)) => diags.len() as u64,
+            Err(e) => panic!("clean corpus trace failed to re-parse: {e}"),
+        })
+        .sum();
+    registry.counter_add("robust.quarantined", quarantined);
+    registry.counter_add("robust.repairs", repairs);
+    registry.counter_add("robust.budget_exhausted", budget_exhausted);
+    for q in isolated.iter().filter_map(|r| r.as_ref().err()) {
+        eprintln!("{q}");
+    }
+    assert_eq!(
+        registry.counter("robust.quarantined"),
+        Some(0),
+        "clean corpus produced quarantines"
+    );
+    assert_eq!(
+        registry.counter("robust.repairs"),
+        Some(0),
+        "clean corpus traces needed lenient repairs"
+    );
+    assert_eq!(
+        registry.counter("robust.budget_exhausted"),
+        Some(0),
+        "clean corpus exhausted an unlimited budget"
+    );
+    println!("robustness guard OK: 0 quarantined, 0 repairs, 0 budget exhaustions\n");
 }
 
 /// Fails (exit 1) if the corpus-total `word_ops` regresses above the

@@ -20,11 +20,13 @@
 //! rule adds an edge.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use droidracer_trace::{LockId, Op, OpKind, PostKind, TaskId, ThreadId, Trace, TraceIndex};
 
 use crate::bitmatrix::{BitIter, BitMatrix, BitSet};
 use crate::graph::{DirectEdges, HbGraph, NodeId};
+use crate::robust::{Budget, BudgetExhausted, BudgetReason};
 use crate::rules::{HbConfig, RuleSet};
 
 /// Hot-path counters recorded while computing one happens-before relation.
@@ -139,7 +141,28 @@ impl HappensBefore {
         config: HbConfig,
         assumed: &[(usize, usize)],
     ) -> Self {
-        Self::compute_inner(trace, index, config, assumed, false)
+        // invariant: an unlimited budget never exhausts.
+        Self::compute_inner(trace, index, config, assumed, false, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Computes the relation under a resource [`Budget`].
+    ///
+    /// The engine polls the budget cooperatively (per saturated row, per
+    /// worklist pop) and the matrix-allocation cap is checked up front, so
+    /// an adversarial trace can neither hang nor OOM a budgeted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] — carrying the partial [`EngineStats`]
+    /// accumulated up to the cutoff — when a limit trips.
+    pub fn compute_budgeted(
+        trace: &Trace,
+        config: HbConfig,
+        budget: &Budget,
+    ) -> Result<Self, BudgetExhausted> {
+        let index = trace.index();
+        Self::compute_inner(trace, &index, config, &[], false, budget)
     }
 
     /// Computes the relation with the retained naive reference saturation:
@@ -152,7 +175,9 @@ impl HappensBefore {
     /// with matrix size instead of with change.
     pub fn compute_reference(trace: &Trace, config: HbConfig) -> Self {
         let index = trace.index();
-        Self::compute_inner(trace, &index, config, &[], true)
+        // invariant: an unlimited budget never exhausts.
+        Self::compute_inner(trace, &index, config, &[], true, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
     }
 
     /// Computes the relation over a prebuilt [`HbGraph`], so callers that
@@ -168,7 +193,25 @@ impl HappensBefore {
         graph: HbGraph,
         config: HbConfig,
     ) -> Self {
-        Self::close_over(trace, index, config, &[], false, graph)
+        // invariant: an unlimited budget never exhausts.
+        Self::close_over(trace, index, config, &[], false, graph, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Like [`HappensBefore::compute_on_graph`] but under a [`Budget`];
+    /// see [`HappensBefore::compute_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when a limit trips.
+    pub fn compute_on_graph_budgeted(
+        trace: &Trace,
+        index: &TraceIndex,
+        graph: HbGraph,
+        config: HbConfig,
+        budget: &Budget,
+    ) -> Result<Self, BudgetExhausted> {
+        Self::close_over(trace, index, config, &[], false, graph, budget)
     }
 
     fn compute_inner(
@@ -177,15 +220,17 @@ impl HappensBefore {
         config: HbConfig,
         assumed: &[(usize, usize)],
         reference: bool,
-    ) -> Self {
+        budget: &Budget,
+    ) -> Result<Self, BudgetExhausted> {
         // Anchor the assumed edges precisely: their endpoints must not be
         // swallowed by access blocks, or the injected edge would order whole
         // blocks the assumption says nothing about.
         let breaks: Vec<usize> = assumed.iter().flat_map(|&(i, j)| [i, j]).collect();
         let graph = HbGraph::build_with_breaks(trace, index, config.merge_accesses, &breaks);
-        Self::close_over(trace, index, config, assumed, reference, graph)
+        Self::close_over(trace, index, config, assumed, reference, graph, budget)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn close_over(
         trace: &Trace,
         index: &TraceIndex,
@@ -193,8 +238,22 @@ impl HappensBefore {
         assumed: &[(usize, usize)],
         reference: bool,
         graph: HbGraph,
-    ) -> Self {
-        let mut builder = EngineState::new(trace, index, &graph, config.rules, reference);
+        budget: &Budget,
+    ) -> Result<Self, BudgetExhausted> {
+        // The matrices are the engine's dominant allocation; enforce the
+        // memory cap before allocating rather than after the OOM.
+        if let Some(cap) = budget.max_matrix_bits {
+            let n = graph.node_count() as u64;
+            let matrices: u64 = if config.rules.restricted_transitivity { 2 } else { 1 };
+            if n.saturating_mul(n).saturating_mul(matrices) > cap {
+                return Err(BudgetExhausted {
+                    reason: BudgetReason::MatrixBits,
+                    partial: EngineStats::default(),
+                    ops_processed: 0,
+                });
+            }
+        }
+        let mut builder = EngineState::new(trace, index, &graph, config.rules, reference, budget);
         builder.add_base_edges();
         for &(i, j) in assumed {
             assert!(i < j, "assumed edges must point forward");
@@ -203,13 +262,19 @@ impl HappensBefore {
         }
         let (base_st, base_mt) = builder.relation_sizes();
         builder.stats.base_edges = base_st + base_mt;
-        builder.run_fixpoint();
-        HappensBefore {
+        if let Err(reason) = builder.run_fixpoint() {
+            return Err(BudgetExhausted {
+                reason,
+                ops_processed: builder.stats.word_ops,
+                partial: builder.stats,
+            });
+        }
+        Ok(HappensBefore {
             relation: builder.relation,
             stats: builder.stats,
             graph,
             config,
-        }
+        })
     }
 
     /// The underlying graph (nodes, merging information).
@@ -337,6 +402,52 @@ struct EngineState<'a> {
     candidate_done: Vec<bool>,
     /// Scratch for the per-round examine list.
     examine_buf: Vec<u32>,
+    /// Cooperative budget poller, consulted at loop granularity.
+    poll: BudgetPoll,
+}
+
+/// Cooperative budget polling for the saturation loops.
+///
+/// Unlimited budgets reduce every check to one branch on `limited`, keeping
+/// the unbudgeted hot path (and its deterministic counters) untouched. The
+/// deadline is only sampled every 64 ticks — `Instant::now` is the one
+/// non-free part of a poll.
+struct BudgetPoll {
+    limited: bool,
+    max_ops: Option<u64>,
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+impl BudgetPoll {
+    fn new(budget: &Budget) -> Self {
+        BudgetPoll {
+            limited: budget.max_ops.is_some() || budget.deadline.is_some(),
+            max_ops: budget.max_ops,
+            deadline: budget.deadline,
+            ticks: 0,
+        }
+    }
+
+    /// Checks the budget against `work_done` (the engine's `word_ops`).
+    #[inline]
+    fn check(&mut self, work_done: u64) -> Result<(), BudgetReason> {
+        if !self.limited {
+            return Ok(());
+        }
+        if let Some(cap) = self.max_ops {
+            if work_done > cap {
+                return Err(BudgetReason::OpCap);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.ticks & 63 == 0 && Instant::now() >= deadline {
+                return Err(BudgetReason::Deadline);
+            }
+            self.ticks = self.ticks.wrapping_add(1);
+        }
+        Ok(())
+    }
 }
 
 impl<'a> EngineState<'a> {
@@ -346,6 +457,7 @@ impl<'a> EngineState<'a> {
         graph: &'a HbGraph,
         rules: RuleSet,
         reference: bool,
+        budget: &Budget,
     ) -> Self {
         let n = graph.node_count();
         let relation = if rules.restricted_transitivity {
@@ -382,6 +494,7 @@ impl<'a> EngineState<'a> {
             examine_stamp: Vec::new(),
             candidate_done: Vec::new(),
             examine_buf: Vec::new(),
+            poll: BudgetPoll::new(budget),
         }
     }
 
@@ -681,17 +794,17 @@ impl<'a> EngineState<'a> {
     /// is monotone and the per-round rule order is unchanged, the fixpoint
     /// — and even the per-round counter deltas — match the reference
     /// whole-matrix saturation exactly.
-    fn run_fixpoint(&mut self) {
+    fn run_fixpoint(&mut self) -> Result<(), BudgetReason> {
         loop {
             self.stats.rounds += 1;
             let (st0, mt0) = self.relation_sizes();
             let mut changed = if self.reference {
                 self.dirty_sources.clear();
-                self.saturate_reference()
+                self.saturate_reference()?
             } else if self.stats.rounds == 1 {
-                self.saturate_all()
+                self.saturate_all()?
             } else {
-                self.saturate_dirty()
+                self.saturate_dirty()?
             };
             let (st1, mt1) = self.relation_sizes();
             self.stats.trans_st_edges += st1 - st0;
@@ -699,7 +812,7 @@ impl<'a> EngineState<'a> {
             let examine_all = self.reference || self.stats.rounds == 1;
             changed |= self.fire_generators(examine_all);
             if !changed {
-                return;
+                return Ok(());
             }
         }
     }
@@ -788,7 +901,7 @@ impl<'a> EngineState<'a> {
     /// reverse trace order. Edges always point forward, so when row `i` is
     /// processed every successor row `j > i` is already complete and one
     /// pass reaches the closure.
-    fn saturate_all(&mut self) -> bool {
+    fn saturate_all(&mut self) -> Result<bool, BudgetReason> {
         let n = self.graph.node_count();
         // Base edges enqueued their sources; a full pass covers them all.
         self.dirty_sources.clear();
@@ -796,8 +909,9 @@ impl<'a> EngineState<'a> {
         let mut changed = false;
         for i in (0..n).rev() {
             changed |= self.recompute_row(i);
+            self.poll.check(self.stats.word_ops)?;
         }
-        changed
+        Ok(changed)
     }
 
     /// Incremental rounds: a row `x` can only change if `x` reaches the
@@ -806,10 +920,10 @@ impl<'a> EngineState<'a> {
     /// rows — again in reverse order, which keeps the complete-successor
     /// invariant (an unmarked successor is provably unchanged, a marked one
     /// has a larger id and was recomputed first).
-    fn saturate_dirty(&mut self) -> bool {
+    fn saturate_dirty(&mut self) -> Result<bool, BudgetReason> {
         self.last_dirty.clear();
         if self.dirty_sources.is_empty() {
-            return false;
+            return Ok(false);
         }
         self.dirty_mark.clear();
         let mut stack = std::mem::take(&mut self.frontier);
@@ -825,6 +939,7 @@ impl<'a> EngineState<'a> {
         let mut dirty = std::mem::take(&mut self.last_dirty);
         while let Some(x) = stack.pop() {
             self.stats.worklist_pops += 1;
+            self.poll.check(self.stats.word_ops)?;
             dirty.push(x);
             for &p in self.st_edges.preds(x) {
                 if !self.dirty_mark.contains(p) {
@@ -844,9 +959,10 @@ impl<'a> EngineState<'a> {
         let mut changed = false;
         for &row in &dirty {
             changed |= self.recompute_row(row);
+            self.poll.check(self.stats.word_ops)?;
         }
         self.last_dirty = dirty;
-        changed
+        Ok(changed)
     }
 
     /// Recomputes row `i`'s closure from its *direct* successors, relying
@@ -916,10 +1032,10 @@ impl<'a> EngineState<'a> {
     /// retained verbatim as the differential-testing reference (its
     /// `word_ops` still count whole rows per operation). Returns true if
     /// anything changed.
-    fn saturate_reference(&mut self) -> bool {
+    fn saturate_reference(&mut self) -> Result<bool, BudgetReason> {
         let n = self.graph.node_count();
         if n == 0 {
-            return false;
+            return Ok(false);
         }
         let threads: Vec<ThreadId> = self.graph.nodes().iter().map(|node| node.thread).collect();
         let row_words = n.div_ceil(64) as u64;
@@ -934,10 +1050,11 @@ impl<'a> EngineState<'a> {
                             pass_changed |= r.or_row_into(j, i);
                             self.stats.word_ops += row_words;
                         }
+                        self.poll.check(self.stats.word_ops)?;
                     }
                     changed |= pass_changed;
                     if !pass_changed {
-                        return changed;
+                        return Ok(changed);
                     }
                 }
             }
@@ -978,6 +1095,7 @@ impl<'a> EngineState<'a> {
                             *c &= !*m;
                         }
                         self.stats.word_ops += 2 * row_words;
+                        self.poll.check(self.stats.word_ops)?;
                         if mt.or_words_into(&cand, i) {
                             changed = true;
                         } else {
@@ -985,7 +1103,7 @@ impl<'a> EngineState<'a> {
                         }
                     }
                 }
-                changed
+                Ok(changed)
             }
         }
     }
@@ -1784,5 +1902,168 @@ mod tests {
         let a = hb(&trace);
         let b2 = hb(&trace);
         assert_eq!(a.stats(), b2.stats());
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::robust::{Budget, BudgetReason};
+    use droidracer_trace::{ThreadKind, TraceBuilder};
+    use std::time::{Duration, Instant};
+
+    /// A trace big enough that the engine does real work: many tasks posted
+    /// across threads with interleaved accesses and lock traffic.
+    fn busy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let bg = b.thread("bg", ThreadKind::App, true);
+        let l = b.lock("m");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(binder);
+        b.thread_init(bg);
+        let locs: Vec<_> = (0..8).map(|i| b.loc("o", format!("C.f{i}"))).collect();
+        for k in 0..24 {
+            let task = b.task(format!("T{k}"));
+            b.post(binder, task, main);
+            b.begin(main, task);
+            b.write(main, locs[k % locs.len()]);
+            b.read(main, locs[(k + 3) % locs.len()]);
+            b.end(main, task);
+            b.acquire(bg, l);
+            b.write(bg, locs[k % locs.len()]);
+            b.release(bg, l);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_compute() {
+        let trace = busy_trace();
+        let plain = HappensBefore::compute(&trace, HbConfig::new());
+        let budgeted = HappensBefore::compute_budgeted(&trace, HbConfig::new(), &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust");
+        assert_eq!(plain.stats(), budgeted.stats());
+        assert_eq!(plain.ordered_pairs(), budgeted.ordered_pairs());
+    }
+
+    #[test]
+    fn op_cap_exhausts_with_partial_stats() {
+        let trace = busy_trace();
+        let full = HappensBefore::compute(&trace, HbConfig::new());
+        assert!(full.stats().word_ops > 8, "trace must exercise the engine");
+        let err = HappensBefore::compute_budgeted(
+            &trace,
+            HbConfig::new(),
+            &Budget::unlimited().with_max_ops(8),
+        )
+        .expect_err("tiny op cap must trip");
+        assert_eq!(err.reason, BudgetReason::OpCap);
+        assert!(err.ops_processed > 8, "cutoff past the cap by at most one poll");
+        assert!(
+            err.partial.word_ops == err.ops_processed && err.partial.rows_recomputed > 0,
+            "partial stats reflect work done: {:?}",
+            err.partial
+        );
+        assert!(err.partial.word_ops < full.stats().word_ops);
+        // The input is fine — re-running unbudgeted (and via the reference
+        // engine) agrees completely.
+        let again = HappensBefore::compute(&trace, HbConfig::new());
+        assert_eq!(again.stats(), full.stats());
+        let reference = HappensBefore::compute_reference(&trace, HbConfig::new());
+        assert_eq!(reference.ordered_pairs(), full.ordered_pairs());
+        assert_eq!(reference.stats().base_edges, full.stats().base_edges);
+    }
+
+    #[test]
+    fn past_deadline_exhausts_immediately() {
+        let trace = busy_trace();
+        let err = HappensBefore::compute_budgeted(
+            &trace,
+            HbConfig::new(),
+            &Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+        )
+        .expect_err("expired deadline must trip");
+        assert_eq!(err.reason, BudgetReason::Deadline);
+        // Afterwards the unbudgeted run still works and is deterministic.
+        let a = HappensBefore::compute(&trace, HbConfig::new());
+        let b2 = HappensBefore::compute(&trace, HbConfig::new());
+        assert_eq!(a.stats(), b2.stats());
+    }
+
+    #[test]
+    fn matrix_bit_cap_blocks_allocation_up_front() {
+        let trace = busy_trace();
+        let err = HappensBefore::compute_budgeted(
+            &trace,
+            HbConfig::new(),
+            &Budget::unlimited().with_max_matrix_bits(64),
+        )
+        .expect_err("tiny matrix cap must trip");
+        assert_eq!(err.reason, BudgetReason::MatrixBits);
+        assert_eq!(err.ops_processed, 0, "tripped before any work");
+        assert_eq!(err.partial, EngineStats::default());
+        // A generous cap admits the same result as the unbudgeted run.
+        let n = HappensBefore::compute(&trace, HbConfig::new()).graph().node_count() as u64;
+        let ok = HappensBefore::compute_budgeted(
+            &trace,
+            HbConfig::new(),
+            &Budget::unlimited().with_max_matrix_bits(2 * n * n),
+        )
+        .expect("exact cap admits the run");
+        assert_eq!(ok.stats(), HappensBefore::compute(&trace, HbConfig::new()).stats());
+    }
+
+    #[test]
+    fn budgeted_reference_engine_also_polls() {
+        let trace = busy_trace();
+        let index = trace.index();
+        let config = HbConfig::new();
+        let graph =
+            crate::graph::HbGraph::build(&trace, &index, config.merge_accesses);
+        // The reference saturator goes through the same close_over path only
+        // via compute_reference (unlimited); exercise the budgeted worklist
+        // path on a prebuilt graph instead.
+        let err = HappensBefore::compute_on_graph_budgeted(
+            &trace,
+            &index,
+            graph,
+            config,
+            &Budget::unlimited().with_max_ops(1),
+        )
+        .expect_err("op cap of 1 must trip");
+        assert_eq!(err.reason, BudgetReason::OpCap);
+    }
+
+    #[test]
+    fn detector_passes_respect_budgets() {
+        use crate::robust::BudgetReason;
+        let trace = busy_trace();
+        let full = crate::fasttrack::detect(&trace);
+        let ft = crate::fasttrack::detect_budgeted(&trace, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust");
+        assert_eq!(ft, full);
+        let err = crate::fasttrack::detect_budgeted(&trace, &Budget::unlimited().with_max_ops(5))
+            .expect_err("op cap must trip");
+        assert_eq!(err.reason, BudgetReason::OpCap);
+        assert_eq!(err.ops_processed, 5);
+        let err = crate::fasttrack::detect_budgeted(
+            &trace,
+            &Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+        )
+        .expect_err("expired deadline must trip");
+        assert_eq!(err.reason, BudgetReason::Deadline);
+        let vc_full = crate::vc::detect_multithreaded(&trace);
+        let vc_budgeted =
+            crate::vc::detect_multithreaded_budgeted(&trace, &Budget::unlimited())
+                .expect("unlimited budget cannot exhaust");
+        assert_eq!(vc_budgeted, vc_full);
+        let err =
+            crate::vc::detect_multithreaded_budgeted(&trace, &Budget::unlimited().with_max_ops(3))
+                .expect_err("op cap must trip");
+        assert_eq!(err.reason, BudgetReason::OpCap);
     }
 }

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use droidracer_trace::{LockId, MemLoc, OpKind, ThreadId, Trace};
 
+use crate::robust::{Budget, BudgetExhausted, BudgetReason};
 use crate::vc::{VcRace, VectorClock};
 
 /// An epoch `c@t`: clock value `c` of thread `t`.
@@ -71,6 +72,19 @@ impl LocState {
 /// Runs the FastTrack analysis over `trace`, reporting at most one race per
 /// location (the first one flagged), exactly like [`crate::vc`].
 pub fn detect(trace: &Trace) -> Vec<VcRace> {
+    // invariant: an unlimited budget never exhausts.
+    detect_budgeted(trace, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Like [`detect`] but under a resource [`Budget`]: the pass polls the
+/// deadline every 1024 trace ops and the op cap on every op.
+///
+/// # Errors
+///
+/// Returns [`BudgetExhausted`] with `ops_processed` = trace ops consumed
+/// when a limit trips.
+pub fn detect_budgeted(trace: &Trace, budget: &Budget) -> Result<Vec<VcRace>, BudgetExhausted> {
+    let limited = budget.is_limited();
     let n = trace.names().thread_count();
     let mut clocks: HashMap<ThreadId, VectorClock> = HashMap::new();
     let mut lock_clocks: HashMap<LockId, VectorClock> = HashMap::new();
@@ -90,6 +104,11 @@ pub fn detect(trace: &Trace) -> Vec<VcRace> {
     }
 
     for (i, op) in trace.iter() {
+        if limited {
+            if let Some(err) = poll_trace_budget(budget, i) {
+                return Err(err);
+            }
+        }
         let t = op.thread;
         match op.kind {
             OpKind::Fork { child } => {
@@ -208,7 +227,26 @@ pub fn detect(trace: &Trace) -> Vec<VcRace> {
     }
     let mut races: Vec<VcRace> = flagged.into_values().collect();
     races.sort_by_key(|r| (r.loc, r.first, r.second));
-    races
+    Ok(races)
+}
+
+/// Shared per-op budget poll for the trace-scanning detectors: the op cap
+/// is exact, the deadline is sampled every 1024 ops.
+pub(crate) fn poll_trace_budget(budget: &Budget, ops_done: usize) -> Option<BudgetExhausted> {
+    let exhausted = |reason| BudgetExhausted {
+        reason,
+        partial: crate::EngineStats::default(),
+        ops_processed: ops_done as u64,
+    };
+    if let Some(cap) = budget.max_ops {
+        if ops_done as u64 >= cap {
+            return Some(exhausted(BudgetReason::OpCap));
+        }
+    }
+    if ops_done & 1023 == 0 && budget.deadline_passed() {
+        return Some(exhausted(BudgetReason::Deadline));
+    }
+    None
 }
 
 #[cfg(test)]

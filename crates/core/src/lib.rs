@@ -67,6 +67,7 @@ mod graph;
 pub mod par;
 mod race;
 mod report;
+mod robust;
 mod rules;
 mod session;
 pub mod vc;
@@ -78,9 +79,10 @@ pub use engine::{EngineStats, HappensBefore};
 pub use graph::{DirectEdges, HbGraph, Node, NodeId};
 pub use par::{
     analyze_all, analyze_all_profiled, analyze_all_with, default_threads, par_map,
-    par_map_profiled,
+    par_map_profiled, par_try_map, ItemError,
 };
 pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
+pub use robust::{Budget, BudgetExhausted, BudgetReason, Quarantined, QuarantineCause};
 pub use rules::{HbConfig, HbMode, RuleSet};
-pub use session::{AnalysisBuilder, AnalysisError};
+pub use session::{AnalysisBuilder, AnalysisError, FaultHook};

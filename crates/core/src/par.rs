@@ -96,6 +96,101 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Why one item of a [`par_try_map`] fan-out produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemError<E> {
+    /// The closure returned a typed error for this item.
+    Err(E),
+    /// The closure panicked on this item; the payload is the rendered panic
+    /// message. The worker survived and went on to other items.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ItemError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItemError::Err(e) => write!(f, "{e}"),
+            ItemError::Panic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// [`std::panic::catch_unwind`]) into a displayable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Fault-isolated [`par_map`]: applies the fallible `f` to every item,
+/// catching panics per item, and returns one `Result` per input in input
+/// order.
+///
+/// This is the quarantine primitive of the batch pipeline: a panicking or
+/// failing item becomes `Err(ItemError)` in its own slot and *nothing
+/// else changes* — the sibling results are bit-identical to a run without
+/// the bad item, because workers share no mutable state and the merge is
+/// by input index. The determinism contract of [`par_map`] carries over:
+///
+/// ```text
+/// par_try_map(&items, n, f)[i] == catch(f(&items[i]))   for every i, any n
+/// ```
+///
+/// Unlike [`par_map`], worker panics do NOT propagate; use `par_map` when
+/// a panic should abort the batch.
+pub fn par_try_map<T, R, E, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, ItemError<E>>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let isolated = |item: &T| -> Result<R, ItemError<E>> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(e)) => Err(ItemError::Err(e)),
+            Err(payload) => Err(ItemError::Panic(panic_message(payload))),
+        }
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(isolated).collect();
+    }
+    // One (input index, outcome) pair per item, gathered across workers.
+    type Slot<R, E> = (usize, Result<R, ItemError<E>>);
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<Slot<R, E>>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<Slot<R, E>> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, isolated(&items[i])));
+                }
+                gathered
+                    .lock()
+                    .expect("workers cannot panic while holding the gather lock")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = gathered
+        .into_inner()
+        .expect("workers cannot panic while holding the gather lock");
+    debug_assert_eq!(pairs.len(), items.len(), "every item produced a result");
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
 /// [`par_map`] with per-item span recording: every worker records its
 /// item's subtree on a clock shared across the whole fan-out, and the
 /// subtrees are merged — like the results — by input index under a parent
@@ -220,6 +315,62 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    fn par_try_map_isolates_panics_and_errors() {
+        let items: Vec<u32> = (0..32).collect();
+        for threads in [1, 4] {
+            let got = par_try_map(&items, threads, |&x| {
+                if x == 7 {
+                    panic!("injected panic on {x}");
+                }
+                if x % 10 == 1 {
+                    return Err(format!("typed error on {x}"));
+                }
+                Ok(x * 2)
+            });
+            assert_eq!(got.len(), items.len(), "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                match (i as u32, r) {
+                    (7, Err(ItemError::Panic(msg))) => {
+                        assert!(msg.contains("injected panic"), "{msg}")
+                    }
+                    (x, Err(ItemError::Err(e))) if x % 10 == 1 => {
+                        assert!(e.contains("typed error"), "{e}")
+                    }
+                    (x, Ok(v)) => assert_eq!(*v, x * 2),
+                    other => panic!("unexpected slot {other:?} at {i} (threads={threads})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_try_map_siblings_unaffected_by_faulty_item() {
+        // The quarantine invariant in miniature: results for the good items
+        // are identical with and without a panicking sibling in the batch.
+        let clean: Vec<u32> = (0..16).collect();
+        let run = |items: &[u32]| {
+            par_try_map(items, 4, |&x| {
+                if x == 99 {
+                    panic!("bad sibling");
+                }
+                Ok::<u32, String>(x.wrapping_mul(31).rotate_left(3))
+            })
+        };
+        let mut with_fault = clean.clone();
+        with_fault.insert(9, 99);
+        let baseline = run(&clean);
+        let faulted = run(&with_fault);
+        let good: Vec<_> = faulted
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 9)
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(good, baseline);
+        assert!(matches!(faulted[9], Err(ItemError::Panic(_))));
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::explain::explain;
 use crate::graph::HbGraph;
 use crate::race::detect;
 use crate::report::{representatives_of, Analysis, AnalysisTiming, ClassifiedRace};
+use crate::robust::{Budget, BudgetExhausted, BudgetReason};
 use crate::rules::{HbConfig, HbMode, RuleSet};
 
 /// Why an analysis session could not produce a result.
@@ -63,12 +64,16 @@ pub enum AnalysisError {
     /// The input trace violates the concurrency semantics (only checked
     /// when [`AnalysisBuilder::validate_first`] is enabled).
     Validate(ValidateError),
+    /// The session ran out of its resource [`Budget`]; the payload carries
+    /// the partial engine counters accumulated before the cutoff.
+    BudgetExhausted(BudgetExhausted),
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::Validate(e) => write!(f, "trace rejected by the semantics checker: {e}"),
+            AnalysisError::BudgetExhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -77,6 +82,7 @@ impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AnalysisError::Validate(e) => Some(e),
+            AnalysisError::BudgetExhausted(e) => Some(e),
         }
     }
 }
@@ -84,6 +90,12 @@ impl Error for AnalysisError {
 impl From<ValidateError> for AnalysisError {
     fn from(e: ValidateError) -> Self {
         AnalysisError::Validate(e)
+    }
+}
+
+impl From<BudgetExhausted> for AnalysisError {
+    fn from(e: BudgetExhausted) -> Self {
+        AnalysisError::BudgetExhausted(e)
     }
 }
 
@@ -100,7 +112,13 @@ pub struct AnalysisBuilder {
     explain: bool,
     origin: Option<Instant>,
     sink: Option<Arc<dyn ObsSink>>,
+    budget: Budget,
+    fault_hook: Option<FaultHook>,
 }
+
+/// A fault-injection callback fired with each phase name as it starts; see
+/// [`AnalysisBuilder::fault_hook`].
+pub type FaultHook = Arc<dyn Fn(&str) + Send + Sync>;
 
 impl AnalysisBuilder {
     /// A session with the paper's full configuration (all rules, node
@@ -176,6 +194,46 @@ impl AnalysisBuilder {
         self
     }
 
+    /// Limits the session's resources (default: unlimited). The deadline is
+    /// checked between phases and cooperatively inside the happens-before
+    /// engine's loops; the op and matrix caps apply to the closure phase.
+    /// Exhaustion fails the session with
+    /// [`AnalysisError::BudgetExhausted`] — never a hang or OOM.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a fault-injection hook invoked with each phase name as the
+    /// phase starts. The fault-injection harness uses this to fire panics
+    /// deep inside the pipeline; a hook that panics exercises exactly the
+    /// code paths a real defect would.
+    pub fn fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Fires the fault-injection hook, if any, at a phase boundary.
+    fn enter_phase(&self, phase: &str) {
+        if let Some(hook) = &self.fault_hook {
+            hook(phase);
+        }
+    }
+
+    /// The between-phase deadline check: cheap, and keeps post-closure
+    /// phases (detect, coverage, explanations) from overrunning a deadline
+    /// the engine respected.
+    fn check_deadline(&self) -> Result<(), AnalysisError> {
+        if self.budget.deadline_passed() {
+            return Err(AnalysisError::BudgetExhausted(BudgetExhausted {
+                reason: BudgetReason::Deadline,
+                partial: crate::EngineStats::default(),
+                ops_processed: 0,
+            }));
+        }
+        Ok(())
+    }
+
     /// Runs the session: (optional) validation → cancellation stripping +
     /// indexing → graph build + merge → happens-before closure → race
     /// detection + classification (+ optional coverage / explanations).
@@ -183,8 +241,10 @@ impl AnalysisBuilder {
     /// # Errors
     ///
     /// Returns [`AnalysisError::Validate`] when validation is enabled and
-    /// the trace violates the concurrency semantics. Without validation the
-    /// session is infallible.
+    /// the trace violates the concurrency semantics, and
+    /// [`AnalysisError::BudgetExhausted`] when a [`Budget`] limit trips.
+    /// Without validation and with the default unlimited budget the session
+    /// is infallible.
     pub fn analyze(&self, trace: &Trace) -> Result<Analysis, AnalysisError> {
         let mut rec = match self.origin {
             Some(origin) => Recorder::with_origin(origin),
@@ -195,20 +255,24 @@ impl AnalysisBuilder {
 
         if self.validate {
             rec.start("validate");
+            self.enter_phase("validate");
             let checked = validate(trace);
             rec.end();
             checked?;
         }
 
         rec.start("prepare");
+        self.enter_phase("prepare");
         let start = Instant::now();
         let trace = trace.without_cancelled();
         let index = trace.index();
         timing.prepare = start.elapsed();
         rec.counter("ops", trace.len() as u64);
         rec.end();
+        self.check_deadline()?;
 
         rec.start("graph");
+        self.enter_phase("graph");
         let start = Instant::now();
         let graph = HbGraph::build(&trace, &index, self.config.merge_accesses);
         timing.graph = start.elapsed();
@@ -216,8 +280,10 @@ impl AnalysisBuilder {
         rec.end();
 
         rec.start("closure");
+        self.enter_phase("closure");
         let start = Instant::now();
-        let hb = HappensBefore::compute_on_graph(&trace, &index, graph, self.config);
+        let hb =
+            HappensBefore::compute_on_graph_budgeted(&trace, &index, graph, self.config, &self.budget)?;
         timing.closure = start.elapsed();
         let stats = hb.stats();
         rec.counter("base_edges", stats.base_edges as u64);
@@ -232,7 +298,9 @@ impl AnalysisBuilder {
         rec.counter("skipped_words", stats.skipped_words);
         rec.end();
 
+        self.check_deadline()?;
         rec.start("detect");
+        self.enter_phase("detect");
         let start = Instant::now();
         let raw = detect(&trace, &hb);
         timing.detect = start.elapsed();
@@ -252,7 +320,9 @@ impl AnalysisBuilder {
         let mut analysis = Analysis::assemble(trace, hb, races, timing);
 
         if self.coverage {
+            self.check_deadline()?;
             rec.start("coverage");
+            self.enter_phase("coverage");
             let report = race_coverage(&analysis);
             rec.counter("roots", report.roots.len() as u64);
             rec.counter("covered", report.covered.len() as u64);
@@ -261,7 +331,9 @@ impl AnalysisBuilder {
         }
 
         if self.explain {
+            self.check_deadline()?;
             rec.start("explain");
+            self.enter_phase("explain");
             let explanations: Vec<String> = analysis
                 .representatives()
                 .iter()
@@ -290,6 +362,8 @@ impl fmt::Debug for AnalysisBuilder {
             .field("explain", &self.explain)
             .field("origin", &self.origin)
             .field("sink", &self.sink.as_ref().map(|_| "dyn ObsSink"))
+            .field("budget", &self.budget)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "dyn Fn"))
             .finish()
     }
 }

@@ -87,6 +87,24 @@ struct LocState {
 /// Runs the multi-threaded vector-clock analysis over `trace`, reporting at
 /// most one race per location (the first one flagged).
 pub fn detect_multithreaded(trace: &Trace) -> Vec<VcRace> {
+    // invariant: an unlimited budget never exhausts.
+    detect_multithreaded_budgeted(trace, &crate::Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Like [`detect_multithreaded`] but under a resource [`crate::Budget`]:
+/// the pass polls the deadline every 1024 trace ops and the op cap on every
+/// op.
+///
+/// # Errors
+///
+/// Returns [`crate::BudgetExhausted`] with `ops_processed` = trace ops
+/// consumed when a limit trips.
+pub fn detect_multithreaded_budgeted(
+    trace: &Trace,
+    budget: &crate::Budget,
+) -> Result<Vec<VcRace>, crate::BudgetExhausted> {
+    let limited = budget.is_limited();
     let n = trace.names().thread_count();
     let mut clocks: HashMap<ThreadId, VectorClock> = HashMap::new();
     let mut lock_clocks: HashMap<LockId, VectorClock> = HashMap::new();
@@ -105,6 +123,11 @@ pub fn detect_multithreaded(trace: &Trace) -> Vec<VcRace> {
     };
 
     for (i, op) in trace.iter() {
+        if limited {
+            if let Some(err) = crate::fasttrack::poll_trace_budget(budget, i) {
+                return Err(err);
+            }
+        }
         let t = op.thread;
         match op.kind {
             OpKind::Fork { child } => {
@@ -178,7 +201,7 @@ pub fn detect_multithreaded(trace: &Trace) -> Vec<VcRace> {
     }
     let mut races: Vec<VcRace> = flagged.into_values().collect();
     races.sort_by_key(|r| (r.loc, r.first, r.second));
-    races
+    Ok(races)
 }
 
 #[cfg(test)]

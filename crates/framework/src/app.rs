@@ -18,6 +18,23 @@ pub struct ActivityId(pub(crate) usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WidgetId(pub(crate) usize);
 
+impl WidgetId {
+    /// Position of this widget in the app's widget table. Stable across
+    /// compiles of the same [`App`]; used by the explorer's replay-database
+    /// text format.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a table position (e.g. when loading a replay
+    /// database). The index is *not* checked here — an id that does not
+    /// exist in the target app is rejected by [`crate::compile`] with a
+    /// typed error, never a panic.
+    pub fn from_index(index: usize) -> Self {
+        WidgetId(index)
+    }
+}
+
 /// Reference to an AsyncTask definition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AsyncTaskId(pub(crate) usize);

@@ -85,6 +85,12 @@ pub enum CompileError {
         /// Description of the offending event.
         event: String,
     },
+    /// A widget id does not exist in this app (e.g. an event sequence
+    /// loaded from a stale replay database).
+    UnknownWidget {
+        /// The out-of-range widget-table index.
+        index: usize,
+    },
     /// BACK or rotate fired after the last activity was destroyed.
     EventAfterExit,
     /// `publishProgress` used outside a `doInBackground` body.
@@ -101,6 +107,9 @@ impl fmt::Display for CompileError {
             CompileError::NoMainActivity => write!(f, "app has no activities"),
             CompileError::EventNotAvailable { event } => {
                 write!(f, "event {event} is not available on the current screen")
+            }
+            CompileError::UnknownWidget { index } => {
+                write!(f, "widget #{index} does not exist in this app")
             }
             CompileError::EventAfterExit => write!(f, "event fired after the app exited"),
             CompileError::PublishProgressOutsideBackground => {
@@ -511,6 +520,9 @@ impl Walk<'_> {
     fn process_event(&mut self, event: UiEvent) -> Result<(), CompileError> {
         match event {
             UiEvent::Widget(w, kind) => {
+                if w.0 >= self.app.widgets.len() {
+                    return Err(CompileError::UnknownWidget { index: w.0 });
+                }
                 let top = self.stack.last().copied().ok_or(CompileError::EventAfterExit)?;
                 if self.app.widget_activity(w) != top
                     || !self.app.widget_events(w).contains(&kind)
@@ -520,6 +532,9 @@ impl Walk<'_> {
                     });
                 }
                 *self.widget_counts.entry((w, kind)).or_insert(0) += 1;
+                // invariant: allocate() created a handler task for every
+                // (widget, kind) pair with a handler, and the membership
+                // check above guarantees this pair has one.
                 self.injections.push(self.refs.widget_handlers[&(w, kind)]);
                 let body = self.app.widgets[w.0]
                     .handlers
@@ -965,6 +980,14 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CompileError::EventAfterExit));
+    }
+
+    #[test]
+    fn stale_widget_id_is_rejected_not_panicking() {
+        let (app, _) = music_player();
+        let stale = WidgetId::from_index(999);
+        let err = compile(&app, &[UiEvent::Widget(stale, UiEventKind::Click)]).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownWidget { index: 999 }));
     }
 
     #[test]

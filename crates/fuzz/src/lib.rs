@@ -28,6 +28,7 @@
 
 pub mod corpus;
 pub mod gen;
+pub mod inject;
 pub mod oracle;
 pub mod shrink;
 pub mod witness;

@@ -1,4 +1,4 @@
-//! A line-based text format for traces.
+//! A line-based text format for traces, with a lenient, recovering parser.
 //!
 //! The real DroidRacer logs traces from the instrumented VM and analyses them
 //! offline; this module plays the same role, letting traces be written to
@@ -12,6 +12,20 @@
 //! task p0 "LAUNCH_ACTIVITY"
 //! op post t0 p0 t0 delay=100 event=e0
 //! ```
+//!
+//! Offline trace files are routinely truncated or corrupted, so ingestion
+//! comes in two strictness levels:
+//!
+//! * [`from_text`] — strict: the first malformed line is a hard
+//!   [`ParseTraceError`]. Used for committed regression corpora, where a
+//!   corrupt file should fail loudly.
+//! * [`from_text_lenient`] — recovering: malformed lines, truncated tails
+//!   and repairable semantic inconsistencies (dangling joins, unbalanced
+//!   locks at EOF, infeasible task bodies) become structured
+//!   [`Diagnostic`]s carrying byte/line spans and the [`Repair`] applied,
+//!   and parsing continues. Only inputs with no consistent prefix at all —
+//!   a missing header — are hard errors. The returned trace always passes
+//!   [`validate`](crate::validate).
 
 use std::error::Error;
 use std::fmt;
@@ -19,6 +33,7 @@ use std::fmt;
 use crate::ids::{EventId, FieldId, LockId, MemLoc, ObjectId, TaskId, ThreadId, ThreadKind};
 use crate::names::Names;
 use crate::op::{Op, OpKind, PostKind};
+use crate::recover::repair;
 use crate::trace::Trace;
 
 const HEADER: &str = "droidracer-trace v1";
@@ -39,6 +54,48 @@ impl fmt::Display for ParseTraceError {
 }
 
 impl Error for ParseTraceError {}
+
+/// The recovery action the lenient parser applied for one [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repair {
+    /// The offending line or operation was dropped.
+    SkipOp,
+    /// A missing closing operation (`threadexit`, `end`, `release`) was
+    /// synthesized to restore consistency.
+    SynthesizeClose,
+    /// An infeasible task execution was dropped wholesale: its `begin`, its
+    /// body and its matching `end`.
+    TruncateTask,
+}
+
+impl fmt::Display for Repair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Repair::SkipOp => write!(f, "skip-op"),
+            Repair::SynthesizeClose => write!(f, "synthesize-close"),
+            Repair::TruncateTask => write!(f, "truncate-task"),
+        }
+    }
+}
+
+/// One problem the lenient parser diagnosed and repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line number (one past the last line for EOF repairs).
+    pub line: usize,
+    /// Byte span `[start, end)` of the offending text; empty at EOF.
+    pub span: (usize, usize),
+    /// What was wrong.
+    pub message: String,
+    /// The repair applied.
+    pub repair: Repair,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {} [{}]", self.line, self.message, self.repair)
+    }
+}
 
 fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -170,198 +227,271 @@ fn op_line(op: &Op) -> String {
     }
 }
 
-fn parse_id(tok: &str, prefix: char, line: usize) -> Result<u32, ParseTraceError> {
+fn parse_id(tok: &str, prefix: char) -> Result<u32, String> {
     tok.strip_prefix(prefix)
         .and_then(|rest| rest.parse().ok())
-        .ok_or_else(|| ParseTraceError {
-            line,
-            message: format!("expected `{prefix}<n>` id, got `{tok}`"),
-        })
+        .ok_or_else(|| format!("expected `{prefix}<n>` id, got `{tok}`"))
 }
 
-/// Parses the text format back into a [`Trace`].
+/// An operation with its source position, before semantic repair.
+pub(crate) struct PendingOp {
+    pub(crate) op: Op,
+    pub(crate) line: usize,
+    pub(crate) span: (usize, usize),
+}
+
+/// The result of the syntax-lenient pass: every well-formed line applied,
+/// every malformed one recorded as a skip diagnostic.
+pub(crate) struct SyntaxParse {
+    pub(crate) names: Names,
+    pub(crate) ops: Vec<PendingOp>,
+    pub(crate) diags: Vec<Diagnostic>,
+    /// Line number one past the last line, for EOF diagnostics.
+    pub(crate) eof_line: usize,
+    /// Empty span at the end of the input, for EOF diagnostics.
+    pub(crate) eof_span: (usize, usize),
+}
+
+/// Parses one non-header line, mutating `names` for declarations and
+/// returning the operation for `op` lines. Errors carry only the message;
+/// the caller attaches the position.
+fn parse_line(l: &str, names: &mut Names) -> Result<Option<Op>, String> {
+    // Quoted names may contain arbitrary whitespace: split the line at
+    // the opening quote and tokenize only the head.
+    let (head, quoted) = match l.find('"') {
+        Some(q) => (&l[..q], &l[q..]),
+        None => (l, ""),
+    };
+    let mut toks = head.split_whitespace();
+    let keyword = toks.next().unwrap_or("");
+    match keyword {
+        "thread" => {
+            let _id = toks.next().ok_or("missing thread id")?;
+            let kind_tok = toks.next().ok_or("missing thread kind")?;
+            let kind = match kind_tok {
+                "main" => ThreadKind::Main,
+                "binder" => ThreadKind::Binder,
+                "app" => ThreadKind::App,
+                "system" => ThreadKind::System,
+                other => return Err(format!("unknown thread kind `{other}`")),
+            };
+            let initial = match toks.next() {
+                Some("initial") => true,
+                Some(other) => return Err(format!("unexpected token `{other}`")),
+                None => false,
+            };
+            let name = unquote(quoted.trim_end()).ok_or("malformed thread name")?;
+            names.fresh_thread(name, kind, initial);
+            Ok(None)
+        }
+        "task" | "event" | "lock" | "object" | "field" => {
+            let _id = toks.next().ok_or("missing id")?;
+            let name = unquote(quoted.trim_end()).ok_or("malformed name")?;
+            match keyword {
+                "task" => {
+                    names.fresh_task(name);
+                }
+                "event" => {
+                    names.fresh_event(name);
+                }
+                "lock" => {
+                    names.fresh_lock(name);
+                }
+                "object" => {
+                    names.fresh_object(name);
+                }
+                "field" => {
+                    names.field(name);
+                }
+                _ => unreachable!(),
+            }
+            Ok(None)
+        }
+        "op" => {
+            let mnemonic = toks.next().ok_or("missing op mnemonic")?;
+            let t = ThreadId(parse_id(toks.next().ok_or("missing thread")?, 't')?);
+            let kind = match mnemonic {
+                "threadinit" => OpKind::ThreadInit,
+                "threadexit" => OpKind::ThreadExit,
+                "attachQ" => OpKind::AttachQ,
+                "loopOnQ" => OpKind::LoopOnQ,
+                "fork" | "join" => {
+                    let child =
+                        ThreadId(parse_id(toks.next().ok_or("missing child thread")?, 't')?);
+                    if mnemonic == "fork" {
+                        OpKind::Fork { child }
+                    } else {
+                        OpKind::Join { child }
+                    }
+                }
+                "begin" | "end" | "cancel" | "enable" => {
+                    let task = TaskId(parse_id(toks.next().ok_or("missing task")?, 'p')?);
+                    match mnemonic {
+                        "begin" => OpKind::Begin { task },
+                        "end" => OpKind::End { task },
+                        "cancel" => OpKind::Cancel { task },
+                        _ => OpKind::Enable { task },
+                    }
+                }
+                "acquire" | "release" => {
+                    let lock = LockId(parse_id(toks.next().ok_or("missing lock")?, 'l')?);
+                    if mnemonic == "acquire" {
+                        OpKind::Acquire { lock }
+                    } else {
+                        OpKind::Release { lock }
+                    }
+                }
+                "read" | "write" => {
+                    let loc_tok = toks.next().ok_or("missing location")?;
+                    let (obj, field) = loc_tok
+                        .split_once('.')
+                        .ok_or_else(|| format!("malformed location `{loc_tok}`"))?;
+                    let loc = MemLoc::new(
+                        ObjectId(parse_id(obj, 'o')?),
+                        FieldId(parse_id(field, 'f')?),
+                    );
+                    if mnemonic == "read" {
+                        OpKind::Read { loc }
+                    } else {
+                        OpKind::Write { loc }
+                    }
+                }
+                "post" => {
+                    let task = TaskId(parse_id(toks.next().ok_or("missing task")?, 'p')?);
+                    let target = ThreadId(parse_id(toks.next().ok_or("missing target")?, 't')?);
+                    let mut kind = PostKind::Plain;
+                    let mut event = None;
+                    for extra in toks.by_ref() {
+                        if extra == "front" {
+                            kind = PostKind::Front;
+                        } else if let Some(d) = extra.strip_prefix("delay=") {
+                            let d = d.parse().map_err(|_| format!("bad delay `{extra}`"))?;
+                            kind = PostKind::Delayed(d);
+                        } else if let Some(e) = extra.strip_prefix("event=") {
+                            event = Some(EventId(parse_id(e, 'e')?));
+                        } else {
+                            return Err(format!("unknown post attribute `{extra}`"));
+                        }
+                    }
+                    OpKind::Post {
+                        task,
+                        target,
+                        kind,
+                        event,
+                    }
+                }
+                other => return Err(format!("unknown op `{other}`")),
+            };
+            Ok(Some(Op::new(t, kind)))
+        }
+        other => Err(format!("unknown keyword `{other}`")),
+    }
+}
+
+/// The syntax-lenient pass shared by the strict and recovering entry points.
 ///
-/// # Errors
-///
-/// Returns [`ParseTraceError`] on malformed input; the error carries the
-/// offending line number.
-pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
-    let mut lines = text.lines().enumerate();
-    match lines.next() {
-        Some((_, l)) if l.trim() == HEADER => {}
+/// A missing header is the one hard error — without it there is no
+/// consistent prefix to recover. Every other malformed line becomes a
+/// [`Repair::SkipOp`] diagnostic and parsing continues.
+pub(crate) fn parse_syntax(text: &str) -> Result<SyntaxParse, ParseTraceError> {
+    // Line records with byte offsets: (start, end, content), content without
+    // the line terminator.
+    let mut recs: Vec<(usize, usize, &str)> = Vec::new();
+    let mut pos = 0usize;
+    for seg in text.split_inclusive('\n') {
+        let content = seg.strip_suffix('\n').unwrap_or(seg);
+        let content = content.strip_suffix('\r').unwrap_or(content);
+        recs.push((pos, pos + content.len(), content));
+        pos += seg.len();
+    }
+    match recs.first() {
+        Some(&(_, _, l)) if l.trim() == HEADER => {}
         other => {
             return Err(ParseTraceError {
                 line: 1,
-                message: format!("missing header `{HEADER}`, got {:?}", other.map(|(_, l)| l)),
+                message: format!(
+                    "missing header `{HEADER}`, got {:?}",
+                    other.map(|&(_, _, l)| l)
+                ),
             })
         }
     }
     let mut names = Names::new();
     let mut ops = Vec::new();
-    // Declarations must arrive in id order; track counts to check.
-    for (idx, raw) in lines {
+    let mut diags = Vec::new();
+    for (idx, &(start, end, raw)) in recs.iter().enumerate().skip(1) {
         let line = idx + 1;
         let l = raw.trim();
         if l.is_empty() || l.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseTraceError { line, message };
-        // Quoted names may contain arbitrary whitespace: split the line at
-        // the opening quote and tokenize only the head.
-        let (head, quoted) = match l.find('"') {
-            Some(q) => (&l[..q], &l[q..]),
-            None => (l, ""),
-        };
-        let mut toks = head.split_whitespace();
-        let keyword = toks.next().unwrap_or("");
-        match keyword {
-            "thread" => {
-                let _id = toks.next().ok_or_else(|| err("missing thread id".into()))?;
-                let kind_tok = toks.next().ok_or_else(|| err("missing thread kind".into()))?;
-                let kind = match kind_tok {
-                    "main" => ThreadKind::Main,
-                    "binder" => ThreadKind::Binder,
-                    "app" => ThreadKind::App,
-                    "system" => ThreadKind::System,
-                    other => return Err(err(format!("unknown thread kind `{other}`"))),
-                };
-                let initial = match toks.next() {
-                    Some("initial") => true,
-                    Some(other) => return Err(err(format!("unexpected token `{other}`"))),
-                    None => false,
-                };
-                let name = unquote(quoted.trim_end())
-                    .ok_or_else(|| err("malformed thread name".into()))?;
-                names.fresh_thread(name, kind, initial);
-            }
-            "task" | "event" | "lock" | "object" | "field" => {
-                let _id = toks.next().ok_or_else(|| err("missing id".into()))?;
-                let name = unquote(quoted.trim_end()).ok_or_else(|| err("malformed name".into()))?;
-                match keyword {
-                    "task" => {
-                        names.fresh_task(name);
-                    }
-                    "event" => {
-                        names.fresh_event(name);
-                    }
-                    "lock" => {
-                        names.fresh_lock(name);
-                    }
-                    "object" => {
-                        names.fresh_object(name);
-                    }
-                    "field" => {
-                        names.field(name);
-                    }
-                    _ => unreachable!(),
-                }
-            }
-            "op" => {
-                let mnemonic = toks.next().ok_or_else(|| err("missing op mnemonic".into()))?;
-                let t = ThreadId(parse_id(
-                    toks.next().ok_or_else(|| err("missing thread".into()))?,
-                    't',
-                    line,
-                )?);
-                let kind = match mnemonic {
-                    "threadinit" => OpKind::ThreadInit,
-                    "threadexit" => OpKind::ThreadExit,
-                    "attachQ" => OpKind::AttachQ,
-                    "loopOnQ" => OpKind::LoopOnQ,
-                    "fork" | "join" => {
-                        let child = ThreadId(parse_id(
-                            toks.next().ok_or_else(|| err("missing child thread".into()))?,
-                            't',
-                            line,
-                        )?);
-                        if mnemonic == "fork" {
-                            OpKind::Fork { child }
-                        } else {
-                            OpKind::Join { child }
-                        }
-                    }
-                    "begin" | "end" | "cancel" | "enable" => {
-                        let task = TaskId(parse_id(
-                            toks.next().ok_or_else(|| err("missing task".into()))?,
-                            'p',
-                            line,
-                        )?);
-                        match mnemonic {
-                            "begin" => OpKind::Begin { task },
-                            "end" => OpKind::End { task },
-                            "cancel" => OpKind::Cancel { task },
-                            _ => OpKind::Enable { task },
-                        }
-                    }
-                    "acquire" | "release" => {
-                        let lock = LockId(parse_id(
-                            toks.next().ok_or_else(|| err("missing lock".into()))?,
-                            'l',
-                            line,
-                        )?);
-                        if mnemonic == "acquire" {
-                            OpKind::Acquire { lock }
-                        } else {
-                            OpKind::Release { lock }
-                        }
-                    }
-                    "read" | "write" => {
-                        let loc_tok = toks.next().ok_or_else(|| err("missing location".into()))?;
-                        let (obj, field) = loc_tok
-                            .split_once('.')
-                            .ok_or_else(|| err(format!("malformed location `{loc_tok}`")))?;
-                        let loc = MemLoc::new(
-                            ObjectId(parse_id(obj, 'o', line)?),
-                            FieldId(parse_id(field, 'f', line)?),
-                        );
-                        if mnemonic == "read" {
-                            OpKind::Read { loc }
-                        } else {
-                            OpKind::Write { loc }
-                        }
-                    }
-                    "post" => {
-                        let task = TaskId(parse_id(
-                            toks.next().ok_or_else(|| err("missing task".into()))?,
-                            'p',
-                            line,
-                        )?);
-                        let target = ThreadId(parse_id(
-                            toks.next().ok_or_else(|| err("missing target".into()))?,
-                            't',
-                            line,
-                        )?);
-                        let mut kind = PostKind::Plain;
-                        let mut event = None;
-                        for extra in toks.by_ref() {
-                            if extra == "front" {
-                                kind = PostKind::Front;
-                            } else if let Some(d) = extra.strip_prefix("delay=") {
-                                let d = d
-                                    .parse()
-                                    .map_err(|_| err(format!("bad delay `{extra}`")))?;
-                                kind = PostKind::Delayed(d);
-                            } else if let Some(e) = extra.strip_prefix("event=") {
-                                event = Some(EventId(parse_id(e, 'e', line)?));
-                            } else {
-                                return Err(err(format!("unknown post attribute `{extra}`")));
-                            }
-                        }
-                        OpKind::Post {
-                            task,
-                            target,
-                            kind,
-                            event,
-                        }
-                    }
-                    other => return Err(err(format!("unknown op `{other}`"))),
-                };
-                ops.push(Op::new(t, kind));
-            }
-            other => return Err(err(format!("unknown keyword `{other}`"))),
+        match parse_line(l, &mut names) {
+            Ok(Some(op)) => ops.push(PendingOp {
+                op,
+                line,
+                span: (start, end),
+            }),
+            Ok(None) => {}
+            Err(message) => diags.push(Diagnostic {
+                line,
+                span: (start, end),
+                message,
+                repair: Repair::SkipOp,
+            }),
         }
     }
-    Ok(Trace::from_parts(names, ops))
+    Ok(SyntaxParse {
+        names,
+        ops,
+        diags,
+        eof_line: recs.len() + 1,
+        eof_span: (text.len(), text.len()),
+    })
+}
+
+/// Parses the text format back into a [`Trace`], strictly.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input; the error carries the
+/// offending line number. Use [`from_text_lenient`] to recover instead.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let parsed = parse_syntax(text)?;
+    if let Some(d) = parsed.diags.into_iter().next() {
+        return Err(ParseTraceError {
+            line: d.line,
+            message: d.message,
+        });
+    }
+    Ok(Trace::from_parts(
+        parsed.names,
+        parsed.ops.into_iter().map(|p| p.op).collect(),
+    ))
+}
+
+/// Parses the text format leniently, recovering from malformed lines and
+/// repairable semantic inconsistencies.
+///
+/// Returns the recovered trace — guaranteed to satisfy the Figure 5
+/// semantics checker ([`validate`](crate::validate)) — together with one
+/// [`Diagnostic`] per problem found, in source order. A clean input yields
+/// an empty diagnostic list and the same trace as [`from_text`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] only when no consistent prefix exists (the
+/// header line is missing or mangled).
+pub fn from_text_lenient(text: &str) -> Result<(Trace, Vec<Diagnostic>), ParseTraceError> {
+    let mut parsed = parse_syntax(text)?;
+    let trace = repair(
+        parsed.names,
+        parsed.ops,
+        &mut parsed.diags,
+        parsed.eof_line,
+        parsed.eof_span,
+    );
+    parsed.diags.sort_by_key(|d| (d.line, d.span.0));
+    Ok((trace, parsed.diags))
 }
 
 #[cfg(test)]
@@ -369,6 +499,7 @@ mod tests {
     use super::*;
     use crate::builder::TraceBuilder;
     use crate::ids::ThreadKind;
+    use crate::validate::validate;
 
     fn sample_trace() -> Trace {
         let mut b = TraceBuilder::new();
@@ -444,5 +575,119 @@ mod tests {
     fn bad_post_attribute_is_rejected() {
         let text = format!("{HEADER}\nthread t0 main initial \"m\"\ntask p0 \"a\"\nop post t0 p0 t0 bogus=1\n");
         assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_of_clean_text_matches_strict() {
+        let trace = sample_trace();
+        let text = to_text(&trace);
+        let (back, diags) = from_text_lenient(&text).expect("header intact");
+        assert_eq!(diags, Vec::new());
+        assert_eq!(back.ops(), trace.ops());
+        assert_eq!(back.names(), trace.names());
+    }
+
+    #[test]
+    fn lenient_parse_missing_header_is_still_fatal() {
+        assert!(from_text_lenient("garbage\n").is_err());
+        assert!(from_text_lenient("").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_skips_unknown_ops_with_spans() {
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\nop threadinit t0\nop frobnicate t0\nop attachQ t0\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        assert_eq!(trace.len(), 2, "good ops kept around the bad line");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].repair, Repair::SkipOp);
+        assert_eq!(&text[diags[0].span.0..diags[0].span.1], "op frobnicate t0");
+        assert!(diags[0].message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn lenient_parse_repairs_dangling_join() {
+        // bg never logs its exit (truncated writer), but main joins it.
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\nthread t1 app \"bg\"\n\
+             op threadinit t0\nop fork t0 t1\nop threadinit t1\nop join t0 t1\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].repair, Repair::SynthesizeClose);
+        assert_eq!(validate(&trace), Ok(()));
+        // threadexit t1 synthesized before the join.
+        assert!(matches!(trace.ops()[3].kind, OpKind::ThreadExit));
+        assert_eq!(trace.ops()[3].thread, ThreadId(1));
+        assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn lenient_parse_closes_unbalanced_locks_at_eof() {
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\nlock l0 \"m\"\n\
+             op threadinit t0\nop acquire t0 l0\nop acquire t0 l0\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        // Two releases synthesized (re-entrant count 2).
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.repair == Repair::SynthesizeClose));
+        assert!(diags.iter().all(|d| d.line == 7 && d.span == (text.len(), text.len())));
+        assert_eq!(trace.len(), 5);
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn lenient_parse_truncates_infeasible_task_bodies() {
+        // Task p0 is begun without ever being posted: drop begin..end.
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\ntask p0 \"A\"\nobject o0 \"o\"\nfield f0 \"C.f\"\n\
+             op threadinit t0\nop attachQ t0\nop loopOnQ t0\n\
+             op begin t0 p0\nop write t0 o0.f0\nop end t0 p0\nop write t0 o0.f0\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].repair, Repair::TruncateTask);
+        assert_eq!(diags[0].line, 9);
+        // init, attachQ, loopOnQ, and the trailing write survive.
+        assert_eq!(trace.len(), 4);
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn lenient_parse_ends_executing_tasks_at_eof() {
+        // Truncated tail: the begin's end was never written.
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\ntask p0 \"A\"\n\
+             op threadinit t0\nop attachQ t0\nop loopOnQ t0\nop post t0 p0 t0\nop begin t0 p0\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].repair, Repair::SynthesizeClose);
+        assert!(matches!(trace.ops().last().map(|o| o.kind), Some(OpKind::End { .. })));
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn lenient_parse_drops_ops_on_undeclared_threads() {
+        let text = format!(
+            "{HEADER}\nthread t0 main initial \"main\"\nop threadinit t0\nop threadinit t9\nop read t9 o0.f0\n"
+        );
+        let (trace, diags) = from_text_lenient(&text).expect("recovers");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.repair == Repair::SkipOp));
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn diagnostics_render_position_and_repair() {
+        let text = format!("{HEADER}\nop frobnicate t0\n");
+        let (_, diags) = from_text_lenient(&text).expect("recovers");
+        let rendered = diags[0].to_string();
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("skip-op"), "{rendered}");
     }
 }

@@ -43,12 +43,13 @@ mod format;
 mod ids;
 mod names;
 mod op;
+mod recover;
 mod stats;
 mod trace;
 mod validate;
 
 pub use builder::TraceBuilder;
-pub use format::{from_text, to_text, ParseTraceError};
+pub use format::{from_text, from_text_lenient, to_text, Diagnostic, ParseTraceError, Repair};
 pub use ids::{EventId, FieldId, LockId, MemLoc, ObjectId, TaskId, ThreadId, ThreadKind};
 pub use names::{Names, ThreadDecl};
 pub use op::{queue_must_precede, Op, OpKind, PostKind};

@@ -110,9 +110,9 @@ impl fmt::Display for ValidateError {
 impl Error for ValidateError {}
 
 #[derive(Debug, Clone, Copy)]
-struct QueueEntry {
-    task: TaskId,
-    kind: PostKind,
+pub(crate) struct QueueEntry {
+    pub(crate) task: TaskId,
+    pub(crate) kind: PostKind,
 }
 
 /// Whether queue entry `earlier` (at a smaller queue position) must execute
@@ -121,17 +121,20 @@ fn must_precede(earlier: &QueueEntry, later: &QueueEntry) -> bool {
     crate::op::queue_must_precede(earlier.kind, later.kind)
 }
 
+/// The Figure 5 machine state, shared with the lenient parser's semantic
+/// repair pass (`recover`), which replays ops through [`step`] to decide
+/// which repairs restore consistency.
 #[derive(Debug, Default)]
-struct State {
-    created: HashSet<ThreadId>,
-    running: HashSet<ThreadId>,
-    finished: HashSet<ThreadId>,
-    looping: HashSet<ThreadId>,
-    executing: HashMap<ThreadId, TaskId>,
+pub(crate) struct State {
+    pub(crate) created: HashSet<ThreadId>,
+    pub(crate) running: HashSet<ThreadId>,
+    pub(crate) finished: HashSet<ThreadId>,
+    pub(crate) looping: HashSet<ThreadId>,
+    pub(crate) executing: HashMap<ThreadId, TaskId>,
     /// `Some(entries)` iff a queue is attached.
-    queues: HashMap<ThreadId, Vec<QueueEntry>>,
-    lock_holders: HashMap<LockId, (ThreadId, u32)>,
-    posted: HashSet<TaskId>,
+    pub(crate) queues: HashMap<ThreadId, Vec<QueueEntry>>,
+    pub(crate) lock_holders: HashMap<LockId, (ThreadId, u32)>,
+    pub(crate) posted: HashSet<TaskId>,
 }
 
 impl State {
@@ -171,7 +174,7 @@ pub fn validate(trace: &Trace) -> Result<(), ValidateError> {
     Ok(())
 }
 
-fn step(st: &mut State, op: Op) -> Result<(), ValidateErrorKind> {
+pub(crate) fn step(st: &mut State, op: Op) -> Result<(), ValidateErrorKind> {
     use ValidateErrorKind::*;
     let t = op.thread;
     // Every rule except INIT requires the executing thread to be running.
@@ -236,6 +239,8 @@ fn step(st: &mut State, op: Op) -> Result<(), ValidateErrorKind> {
             if st.executing.contains_key(&t) {
                 return Err(ThreadNotIdle(t));
             }
+            // invariant: LoopOnQ only succeeds when a queue is attached, and
+            // queues are never detached, so a looping thread always has one.
             let queue = st.queues.get_mut(&t).expect("looping thread has a queue");
             let Some(pos) = queue.iter().position(|e| e.task == task) else {
                 return Err(TaskNotQueued(task));

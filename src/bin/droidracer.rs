@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! droidracer analyze <trace-file> [--mode MODE] [--no-merge] [--all]
-//!                                  [--validate] [--explain] [--dot FILE]
-//!                                  [--coverage] [--profile FILE]
+//!                                  [--validate] [--lenient] [--explain]
+//!                                  [--dot FILE] [--coverage] [--profile FILE]
+//!                                  [--max-ops N] [--max-matrix-bits N]
+//!                                  [--deadline-ms N]
 //! droidracer validate <trace-file>
 //! droidracer stats <trace-file>
 //! droidracer corpus <app-name> [--out FILE]   # dump a corpus trace
+//! droidracer corpus --analyze [--threads N] [--fail-fast] [budget flags]
 //! droidracer explore <app-name> [depth] [--profile FILE]
 //! droidracer fuzz [--seed N] [--iters N] [--time-budget SECS]
 //!                 [--profile FILE] [--regressions DIR] [--save-failures DIR]
@@ -17,15 +20,28 @@
 //! events-as-threads. `--profile` writes a Chrome `trace_event` JSON
 //! profile of the run (load it in `chrome://tracing` or Perfetto) and
 //! prints the span tree.
+//!
+//! Exit codes: 0 — clean; 1 — races found; 2 — inputs quarantined or a
+//! budget exhausted; 3 — fatal (usage error, unreadable input, internal
+//! failure).
 
 use std::process::ExitCode;
 
 use droidracer::apps;
-use droidracer::core::{AnalysisBuilder, HbConfig, HbMode};
+use droidracer::core::{AnalysisBuilder, AnalysisError, Budget, HbConfig, HbMode};
 use droidracer::fuzz::{corpus::replay_regressions, corpus::save_regression, FuzzConfig};
 use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
-use droidracer::trace::{from_text, to_text, validate, Trace, TraceStats};
+use droidracer::trace::{from_text, from_text_lenient, to_text, validate, Trace, TraceStats};
 use droidracer::Error;
+
+/// Exit-code taxonomy (see the module docs): nothing to report.
+const EXIT_CLEAN: u8 = 0;
+/// Races were found in the analyzed input(s).
+const EXIT_RACES: u8 = 1;
+/// One or more inputs were quarantined (panic, typed error, blown budget).
+const EXIT_QUARANTINE: u8 = 2;
+/// The run itself failed: bad usage, unreadable input, internal error.
+const EXIT_FATAL: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -35,13 +51,22 @@ fn usage() -> ExitCode {
       --no-merge        disable §6 node merging
       --all             also print the raw block-pair race count
       --validate        reject semantically invalid traces before analyzing
+      --lenient         repair malformed traces, printing each diagnostic
       --explain         print a happens-before explanation per representative
       --dot FILE        write the happens-before graph in Graphviz format
       --coverage        print root causes vs covered reports
       --profile FILE    write a Chrome trace_event profile; print the span tree
+      --max-ops N       cap analysis work units (exhaustion exits 2)
+      --max-matrix-bits N  cap relation-matrix allocation in bits
+      --deadline-ms N   wall-clock budget for the analysis
   droidracer validate <trace-file>
   droidracer stats <trace-file>
   droidracer corpus <app-name> [--out FILE]
+  droidracer corpus --analyze [options]
+      --threads N       fan the corpus out over N workers (default 1)
+      --keep-going      quarantine faulty entries, keep analyzing (default)
+      --fail-fast       stop at the first quarantined entry
+      --max-ops / --max-matrix-bits / --deadline-ms   per-entry budget
   droidracer explore <app-name> [depth] [--profile FILE]
   droidracer fuzz [options]
       --seed N          master seed (decimal or 0x-hex; default 0xD201D)
@@ -50,9 +75,11 @@ fn usage() -> ExitCode {
       --regressions DIR regression corpus to replay
                         (default tests/data/fuzz_regressions when present)
       --save-failures DIR  write shrunk failing traces into DIR
-      --profile FILE    write a Chrome trace_event profile of the session"
+      --profile FILE    write a Chrome trace_event profile of the session
+
+exit codes: 0 clean, 1 races found, 2 quarantines/budget, 3 fatal"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_FATAL)
 }
 
 fn load(path: &str) -> Result<Trace, Error> {
@@ -84,7 +111,7 @@ fn find_entry(name: &str) -> Result<apps::CorpusEntry, ExitCode> {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_FATAL)
         })
 }
 
@@ -93,10 +120,34 @@ struct AnalyzeOpts {
     merge: bool,
     show_all: bool,
     validate_first: bool,
+    lenient: bool,
     explain_races: bool,
     coverage: bool,
     dot_file: Option<String>,
     profile_file: Option<String>,
+    budget: Budget,
+}
+
+/// Consumes one budget flag at `args[i]` if present, updating `budget`.
+/// Returns the new cursor, or `None` on a malformed value, or `Some(i)`
+/// unchanged when the flag is not a budget flag.
+fn parse_budget_flag(args: &[String], i: usize, budget: &mut Budget) -> Option<usize> {
+    match args[i].as_str() {
+        "--max-ops" => {
+            *budget = budget.with_max_ops(args.get(i + 1).and_then(|s| parse_u64(s))?);
+            Some(i + 2)
+        }
+        "--max-matrix-bits" => {
+            *budget = budget.with_max_matrix_bits(args.get(i + 1).and_then(|s| parse_u64(s))?);
+            Some(i + 2)
+        }
+        "--deadline-ms" => {
+            let ms = args.get(i + 1).and_then(|s| parse_u64(s))?;
+            *budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+            Some(i + 2)
+        }
+        _ => Some(i),
+    }
 }
 
 fn parse_analyze_opts(args: &[String]) -> Option<AnalyzeOpts> {
@@ -105,13 +156,20 @@ fn parse_analyze_opts(args: &[String]) -> Option<AnalyzeOpts> {
         merge: true,
         show_all: false,
         validate_first: false,
+        lenient: false,
         explain_races: false,
         coverage: false,
         dot_file: None,
         profile_file: None,
+        budget: Budget::unlimited(),
     };
     let mut i = 0;
     while i < args.len() {
+        let advanced = parse_budget_flag(args, i, &mut opts.budget)?;
+        if advanced != i {
+            i = advanced;
+            continue;
+        }
         match args[i].as_str() {
             "--mode" => {
                 opts.mode = args.get(i + 1).and_then(|s| parse_mode(s))?;
@@ -119,6 +177,10 @@ fn parse_analyze_opts(args: &[String]) -> Option<AnalyzeOpts> {
             }
             "--no-merge" => {
                 opts.merge = false;
+                i += 1;
+            }
+            "--lenient" => {
+                opts.lenient = true;
                 i += 1;
             }
             "--all" => {
@@ -156,18 +218,39 @@ fn cmd_analyze(path: &str, opts: &AnalyzeOpts) -> Result<ExitCode, Error> {
     rec.start("analyze");
 
     rec.start("parse");
-    let trace = load(path)?;
+    let trace = if opts.lenient {
+        let text = std::fs::read_to_string(path)?;
+        let (trace, diags) = from_text_lenient(&text)?;
+        for d in &diags {
+            eprintln!("repair: {d}");
+        }
+        if !diags.is_empty() {
+            eprintln!("{} repair(s) applied to {path}", diags.len());
+        }
+        trace
+    } else {
+        load(path)?
+    };
     rec.counter("ops", trace.len() as u64);
     rec.end();
 
-    let analysis = AnalysisBuilder::new()
+    let result = AnalysisBuilder::new()
         .mode(opts.mode)
         .merge_accesses(opts.merge)
         .validate_first(opts.validate_first)
         .with_coverage(opts.coverage)
         .with_explanations(opts.explain_races)
+        .budget(opts.budget)
         .clock_origin(rec.origin())
-        .analyze(&trace)?;
+        .analyze(&trace);
+    let analysis = match result {
+        Ok(a) => a,
+        Err(AnalysisError::BudgetExhausted(e)) => {
+            eprintln!("{e}");
+            return Ok(ExitCode::from(EXIT_QUARANTINE));
+        }
+        Err(e) => return Err(e.into()),
+    };
     rec.adopt(analysis.spans().clone());
 
     rec.start("report");
@@ -227,10 +310,88 @@ fn cmd_analyze(path: &str, opts: &AnalyzeOpts) -> Result<ExitCode, Error> {
         println!("profile written to {file}");
     }
     Ok(if analysis.races().is_empty() {
-        ExitCode::SUCCESS
+        ExitCode::from(EXIT_CLEAN)
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_RACES)
     })
+}
+
+struct CorpusAnalyzeOpts {
+    threads: usize,
+    fail_fast: bool,
+    budget: Budget,
+}
+
+fn parse_corpus_analyze_opts(args: &[String]) -> Option<CorpusAnalyzeOpts> {
+    let mut opts = CorpusAnalyzeOpts {
+        threads: 1,
+        fail_fast: false,
+        budget: Budget::unlimited(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let advanced = parse_budget_flag(args, i, &mut opts.budget)?;
+        if advanced != i {
+            i = advanced;
+            continue;
+        }
+        match args[i].as_str() {
+            "--threads" => {
+                opts.threads = args.get(i + 1).and_then(|s| s.parse().ok())?;
+                i += 2;
+            }
+            // Keep-going is the default for corpus mode; the flag is
+            // accepted for explicitness.
+            "--keep-going" => {
+                opts.fail_fast = false;
+                i += 1;
+            }
+            "--fail-fast" => {
+                opts.fail_fast = true;
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+/// Runs the fault-isolated analysis over the whole corpus: every entry is
+/// compiled, simulated and analyzed under the given budget inside a panic
+/// boundary; faulty entries are quarantined and reported, not fatal.
+fn cmd_corpus_analyze(opts: &CorpusAnalyzeOpts) -> ExitCode {
+    let entries = apps::corpus();
+    let results = apps::analyze_corpus_isolated(&entries, opts.threads, &opts.budget);
+    let mut races = 0usize;
+    let mut quarantines = 0usize;
+    for (entry, result) in entries.iter().zip(&results) {
+        match result {
+            Ok(report) => {
+                let found = report.analysis.representatives().len();
+                races += found;
+                println!("{:<16} ok: {} representative race(s), reported {}", entry.name, found, report.reported);
+            }
+            Err(q) => {
+                quarantines += 1;
+                eprintln!("{q}");
+                println!("{:<16} QUARANTINED [{}]", entry.name, q.cause);
+                if opts.fail_fast {
+                    break;
+                }
+            }
+        }
+    }
+    println!(
+        "corpus: {} entries, {races} race(s), {quarantines} quarantined",
+        results.len()
+    );
+    if quarantines > 0 {
+        ExitCode::from(EXIT_QUARANTINE)
+    } else if races > 0 {
+        ExitCode::from(EXIT_RACES)
+    } else {
+        ExitCode::from(EXIT_CLEAN)
+    }
 }
 
 /// Parses a decimal or `0x`-prefixed hexadecimal integer.
@@ -397,7 +558,7 @@ fn main() -> ExitCode {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_FATAL)
                 }
             }
         }
@@ -406,7 +567,7 @@ fn main() -> ExitCode {
             match load(path).map(|t| validate(&t)) {
                 Ok(Ok(())) => {
                     println!("ok: trace satisfies the concurrency semantics");
-                    ExitCode::SUCCESS
+                    ExitCode::from(EXIT_CLEAN)
                 }
                 Ok(Err(e)) => {
                     eprintln!("invalid: {e}");
@@ -414,7 +575,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_FATAL)
                 }
             }
         }
@@ -423,16 +584,22 @@ fn main() -> ExitCode {
             match load(path) {
                 Ok(t) => {
                     println!("{}", TraceStats::of(&t));
-                    ExitCode::SUCCESS
+                    ExitCode::from(EXIT_CLEAN)
                 }
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_FATAL)
                 }
             }
         }
         "corpus" => {
             let Some(name) = args.get(1) else { return usage() };
+            if name == "--analyze" {
+                let Some(opts) = parse_corpus_analyze_opts(&args[2..]) else {
+                    return usage();
+                };
+                return cmd_corpus_analyze(&opts);
+            }
             let entry = match find_entry(name) {
                 Ok(e) => e,
                 Err(code) => return code,
@@ -441,7 +608,7 @@ fn main() -> ExitCode {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("{}", Error::from(e));
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_FATAL);
                 }
             };
             let text = to_text(&trace);
@@ -450,14 +617,14 @@ fn main() -> ExitCode {
                     let Some(file) = args.get(3) else { return usage() };
                     if let Err(e) = std::fs::write(file, text) {
                         eprintln!("cannot write {file}: {e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_FATAL);
                     }
                     println!("wrote {} ops to {file}", trace.len());
                 }
                 None => print!("{text}"),
                 _ => return usage(),
             }
-            ExitCode::SUCCESS
+            ExitCode::from(EXIT_CLEAN)
         }
         "explore" => {
             let Some(name) = args.get(1) else { return usage() };
@@ -486,7 +653,7 @@ fn main() -> ExitCode {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_FATAL)
                 }
             }
         }
@@ -498,7 +665,7 @@ fn main() -> ExitCode {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_FATAL)
                 }
             }
         }

@@ -1,0 +1,59 @@
+//! Corruption-fuzz property test over the evaluation corpus: every seeded
+//! byte-level corruption of every corpus trace must either be salvaged by
+//! the lenient parser with diagnosed repairs (and the repair must be a
+//! fixed point — re-parsing it yields no further diagnostics) or be
+//! rejected with a clean typed `ParseTraceError` — never a panic. The
+//! storm runner (`droidracer::fuzz::inject::storm`) wraps each parse in a
+//! panic boundary and counts non-converging repairs as contract
+//! violations too.
+
+use droidracer::apps::corpus;
+use droidracer::fuzz::inject::storm;
+use droidracer::trace::to_text;
+
+/// Corruptions per corpus trace. Debug builds run a reduced storm so the
+/// plain `cargo test` gate stays fast; the CI `corruption-smoke` step runs
+/// the full 1,000 per trace in release mode.
+const STORM_SIZE: u64 = if cfg!(debug_assertions) { 50 } else { 1_000 };
+
+#[test]
+fn corrupted_corpus_traces_never_panic_the_parser() {
+    for entry in corpus() {
+        let trace = entry
+            .generate_trace()
+            .unwrap_or_else(|e| panic!("{}: trace generation failed: {e}", entry.name));
+        let text = to_text(&trace);
+        // Per-entry seed keeps failures reproducible with the entry alone.
+        let seed = 0xC0_4012_u64 ^ entry.name.len() as u64;
+        let report = storm(&text, seed, STORM_SIZE);
+        assert_eq!(
+            report.panics, 0,
+            "{}: corruption storm violated the no-panic contract: {report:?}",
+            entry.name
+        );
+        assert_eq!(
+            report.clean + report.repaired + report.parse_errors,
+            report.total,
+            "{}: outcomes don't tally: {report:?}",
+            entry.name
+        );
+        // The storm must actually exercise the recovery machinery: on a
+        // multi-kilobyte trace some corruptions are salvageable and some
+        // (header hits) are not.
+        assert!(report.repaired > 0, "{}: {report:?}", entry.name);
+    }
+}
+
+#[test]
+fn clean_corpus_traces_parse_without_repairs() {
+    for entry in corpus() {
+        let trace = entry
+            .generate_trace()
+            .unwrap_or_else(|e| panic!("{}: trace generation failed: {e}", entry.name));
+        assert!(
+            droidracer::fuzz::inject::roundtrips_clean(&to_text(&trace)),
+            "{}: clean trace round-trip produced repairs or mismatched ops",
+            entry.name
+        );
+    }
+}
