@@ -19,9 +19,10 @@ use std::time::Instant;
 
 use droidracer_apps::{analyze_corpus_isolated, corpus};
 use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
+use droidracer_core::bitmatrix::BitMatrix;
 use droidracer_core::{
     analyze_all, analyze_all_profiled, default_threads, par_map, Analysis, AnalysisBuilder,
-    Budget, EngineStats, HbConfig, QuarantineCause,
+    Budget, EngineStats, HbConfig, QuarantineCause, StreamOptions, StreamingAnalysis,
 };
 use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
@@ -160,6 +161,12 @@ fn main() {
     // before the asserts fire.
     export_robustness_counters(&entries, &traces, &mut registry);
 
+    // Streaming sweep: every corpus trace re-analyzed online (64-op chunks,
+    // windowed summarizer) must reproduce the batch reports exactly, and the
+    // summarizer must demonstrably bound memory on the largest app. The
+    // `stream.*` counters land in the bench JSON.
+    export_stream_counters(&names, &traces, &reference, &mut registry);
+
     // Profile determinism check: the exported span structure — not just the
     // reports — must be bit-identical across thread counts once the
     // wall-clock fields are stripped.
@@ -243,6 +250,86 @@ fn export_robustness_counters(
         "clean corpus exhausted an unlimited budget"
     );
     println!("robustness guard OK: 0 quarantined, 0 repairs, 0 budget exhaustions\n");
+}
+
+/// Streams every corpus trace through [`StreamingAnalysis`] in 64-op chunks
+/// with the windowed summarizer on, verifies each streamed report matches
+/// the batch reference exactly, and exports the summed `stream.*` counters
+/// plus a `stream.peak_matrix_bits` gauge (corpus max). The memory-bound
+/// contract is asserted on the largest app: K-9 Mail's streamed matrix peak
+/// must stay below the batch engine's dense relation-matrix footprint.
+fn export_stream_counters(
+    names: &[&'static str],
+    traces: &[Trace],
+    reference: &[Analysis],
+    registry: &mut MetricsRegistry,
+) {
+    let options = StreamOptions {
+        summarize: true,
+        window: 64,
+        budget: None,
+    };
+    let mut totals = droidracer_core::StreamStats::default();
+    let mut peak_max = 0u64;
+    let mut k9_checked = false;
+    for ((name, trace), analysis) in names.iter().zip(traces).zip(reference) {
+        let mut session = StreamingAnalysis::new(HbConfig::new(), options);
+        for piece in trace.ops().chunks(64) {
+            session.push_chunk(piece).expect("unlimited budget");
+        }
+        let out = session.finish(trace.names()).expect("unlimited budget");
+        assert_eq!(
+            out.races.as_slice(),
+            analysis.races(),
+            "{name}: streamed races diverged from batch"
+        );
+        assert_eq!(
+            out.counts,
+            analysis.counts(),
+            "{name}: streamed classification diverged from batch"
+        );
+        assert!(!out.stats.degenerate, "{name}: clean trace fell back to batch");
+        let s = out.stats;
+        totals.ops += s.ops;
+        totals.chunks += s.chunks;
+        totals.races_emitted += s.races_emitted;
+        totals.retractions += s.retractions;
+        totals.late_emissions += s.late_emissions;
+        totals.rebuilds += s.rebuilds;
+        totals.retired_rows += s.retired_rows;
+        totals.word_ops += s.word_ops;
+        peak_max = peak_max.max(s.peak_matrix_bits);
+        if *name == "K-9 Mail" {
+            let dense = |m: &BitMatrix| (m.words_per_row() * m.len() * 64) as u64;
+            let (st, mt) = analysis.hb().relation_matrices();
+            let batch_bits = dense(st) + mt.map(dense).unwrap_or(0);
+            assert!(
+                s.peak_matrix_bits < batch_bits,
+                "K-9 Mail: streamed peak {} bits >= batch dense {} bits",
+                s.peak_matrix_bits,
+                batch_bits
+            );
+            println!(
+                "stream memory bound OK (K-9 Mail): peak {} bits < batch dense {} bits",
+                s.peak_matrix_bits, batch_bits
+            );
+            k9_checked = true;
+        }
+    }
+    assert!(k9_checked, "K-9 Mail missing from the corpus sweep");
+    registry.counter_add("stream.chunks", totals.chunks);
+    registry.counter_add("stream.ops", totals.ops);
+    registry.counter_add("stream.races_emitted", totals.races_emitted);
+    registry.counter_add("stream.retractions", totals.retractions);
+    registry.counter_add("stream.late_emissions", totals.late_emissions);
+    registry.counter_add("stream.rebuilds", totals.rebuilds);
+    registry.counter_add("stream.retired_rows", totals.retired_rows);
+    registry.counter_add("stream.word_ops", totals.word_ops);
+    registry.gauge_set("stream.peak_matrix_bits", peak_max as f64);
+    println!(
+        "stream sweep OK: {} ops in {} chunks, {} races emitted live, {} rows retired\n",
+        totals.ops, totals.chunks, totals.races_emitted, totals.retired_rows
+    );
 }
 
 /// Fails (exit 1) if the corpus-total `word_ops` regresses above the

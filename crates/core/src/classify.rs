@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use droidracer_trace::{OpKind, Trace, TraceIndex};
+use droidracer_trace::{Op, OpKind, Trace, TraceIndex};
 
 use crate::engine::HappensBefore;
 use crate::race::Race;
@@ -66,8 +66,21 @@ impl fmt::Display for RaceCategory {
 
 /// Classifies `race` according to §4.3.
 pub fn classify(trace: &Trace, index: &TraceIndex, hb: &HappensBefore, race: &Race) -> RaceCategory {
+    classify_with(trace.ops(), index, |a, b| hb.ordered(a, b), race)
+}
+
+/// Generic classification core: the same §4.3 decision procedure over any
+/// op-level ordering predicate (`ordered(i, j)` ⇔ `αi ≺ αj`, reflexive at
+/// the op level like [`HappensBefore::ordered`]). The streaming engine
+/// reuses it with its column-oriented relation.
+pub(crate) fn classify_with(
+    ops: &[Op],
+    index: &TraceIndex,
+    ordered: impl Fn(usize, usize) -> bool,
+    race: &Race,
+) -> RaceCategory {
     let (i, j) = (race.first, race.second);
-    if trace.op(i).thread != trace.op(j).thread {
+    if ops[i].thread != ops[j].thread {
         return RaceCategory::Multithreaded;
     }
     let chain_i = index.chain(i);
@@ -76,11 +89,11 @@ pub fn classify(trace: &Trace, index: &TraceIndex, hb: &HappensBefore, race: &Ra
     // Co-enabled: most recent posts for environmental events.
     let env_post = |chain: &[usize]| {
         chain.iter().rev().copied().find(|&p| {
-            matches!(trace.op(p).kind, OpKind::Post { event: Some(_), .. })
+            matches!(ops[p].kind, OpKind::Post { event: Some(_), .. })
         })
     };
     if let (Some(bi), Some(bj)) = (env_post(&chain_i), env_post(&chain_j)) {
-        if bi != bj && !hb.ordered(bi, bj) {
+        if bi != bj && !ordered(bi, bj) {
             return RaceCategory::CoEnabled;
         }
     }
@@ -88,7 +101,7 @@ pub fn classify(trace: &Trace, index: &TraceIndex, hb: &HappensBefore, race: &Ra
     // Delayed: most recent delayed posts.
     let delayed_post = |chain: &[usize]| {
         chain.iter().rev().copied().find(|&p| {
-            matches!(trace.op(p).kind, OpKind::Post { kind, .. } if kind.is_delayed())
+            matches!(ops[p].kind, OpKind::Post { kind, .. } if kind.is_delayed())
         })
     };
     let (di, dj) = (delayed_post(&chain_i), delayed_post(&chain_j));
@@ -101,15 +114,11 @@ pub fn classify(trace: &Trace, index: &TraceIndex, hb: &HappensBefore, race: &Ra
     // Cross-posted: most recent posts executing on another thread than the
     // access's own thread.
     let cross_post = |chain: &[usize], own| {
-        chain
-            .iter()
-            .rev()
-            .copied()
-            .find(|&p| trace.op(p).thread != own)
+        chain.iter().rev().copied().find(|&p| ops[p].thread != own)
     };
     let (ci, cj) = (
-        cross_post(&chain_i, trace.op(i).thread),
-        cross_post(&chain_j, trace.op(j).thread),
+        cross_post(&chain_i, ops[i].thread),
+        cross_post(&chain_j, ops[j].thread),
     );
     match (ci, cj) {
         (Some(a), Some(b)) if a != b => return RaceCategory::CrossPosted,

@@ -89,6 +89,29 @@ impl EngineStats {
         self.rows_recomputed += other.rows_recomputed;
         self.skipped_words += other.skipped_words;
     }
+
+    /// Per-counter difference `self - baseline`: the work done since
+    /// `baseline` was captured. Sessions that drive several closure passes
+    /// over one accumulating counter set (the streaming engine's per-chunk
+    /// accounting) capture a baseline before each pass and report the delta,
+    /// so absorbing the deltas never double-counts the shared prefix.
+    ///
+    /// Every counter of `baseline` must be `<=` the matching counter of
+    /// `self` (counters are monotone within a session).
+    pub fn since(&self, baseline: &EngineStats) -> EngineStats {
+        EngineStats {
+            base_edges: self.base_edges - baseline.base_edges,
+            fifo_fired: self.fifo_fired - baseline.fifo_fired,
+            nopre_fired: self.nopre_fired - baseline.nopre_fired,
+            trans_st_edges: self.trans_st_edges - baseline.trans_st_edges,
+            trans_mt_edges: self.trans_mt_edges - baseline.trans_mt_edges,
+            rounds: self.rounds - baseline.rounds,
+            word_ops: self.word_ops - baseline.word_ops,
+            worklist_pops: self.worklist_pops - baseline.worklist_pops,
+            rows_recomputed: self.rows_recomputed - baseline.rows_recomputed,
+            skipped_words: self.skipped_words - baseline.skipped_words,
+        }
+    }
 }
 
 /// The computed happens-before relation for one trace.
@@ -396,8 +419,14 @@ struct EngineState<'a> {
     /// first post, a NOPRE candidate every node of its first task — exactly
     /// the rows whose recomputation can flip the rule's guard.
     watchers: Vec<Vec<u32>>,
-    /// Per-candidate round stamp deduplicating the examine list.
+    /// Per-candidate examine-epoch stamp deduplicating the examine list.
     examine_stamp: Vec<u32>,
+    /// Monotone epoch, bumped once per incremental [`Self::fire_generators`]
+    /// sweep. Deliberately *not* derived from `stats.rounds`: stats may be
+    /// rebaselined between passes of a multi-pass (streaming) session, and a
+    /// stamp reused across passes would silently skip candidates whose
+    /// guards flipped in the later pass.
+    examine_epoch: u32,
     /// Candidates that fired or whose conclusion was derived otherwise.
     candidate_done: Vec<bool>,
     /// Scratch for the per-round examine list.
@@ -492,6 +521,7 @@ impl<'a> EngineState<'a> {
             frontier: Vec::new(),
             watchers: vec![Vec::new(); n],
             examine_stamp: Vec::new(),
+            examine_epoch: 0,
             candidate_done: Vec::new(),
             examine_buf: Vec::new(),
             poll: BudgetPoll::new(budget),
@@ -835,7 +865,10 @@ impl<'a> EngineState<'a> {
         }
         let mut examine = std::mem::take(&mut self.examine_buf);
         examine.clear();
-        let stamp = self.stats.rounds as u32;
+        // Fresh stamps init to 0 and the epoch starts its first sweep at 1,
+        // so a never-examined candidate always passes the dedup check.
+        self.examine_epoch = self.examine_epoch.wrapping_add(1);
+        let stamp = self.examine_epoch;
         for di in 0..self.last_dirty.len() {
             let r = self.last_dirty[di];
             for wi in 0..self.watchers[r].len() {
@@ -1119,7 +1152,7 @@ impl<'a> EngineState<'a> {
 /// * both delayed → ordered iff the first timeout is no larger;
 /// * second posted to the front (extension) → no FIFO ordering, the front
 ///   post may overtake anything queued.
-fn fifo_delay_ok(k1: PostKind, k2: PostKind, refined: bool) -> bool {
+pub(crate) fn fifo_delay_ok(k1: PostKind, k2: PostKind, refined: bool) -> bool {
     if !refined {
         return true;
     }
@@ -1712,6 +1745,71 @@ mod tests {
         assert_eq!(s.rows_recomputed, 17);
         // The counters partition the closed relation exactly.
         assert_eq!(hb.ordered_pairs(), s.base_edges + s.derived_edges());
+    }
+
+    fn arbitrary_stats(k: usize) -> EngineStats {
+        EngineStats {
+            base_edges: 3 + k,
+            fifo_fired: k,
+            nopre_fired: 2 * k,
+            trans_st_edges: 5 + k,
+            trans_mt_edges: 7,
+            rounds: 1 + k,
+            word_ops: 100 + k as u64,
+            worklist_pops: 11,
+            rows_recomputed: 13 + k as u64,
+            skipped_words: 17,
+        }
+    }
+
+    /// `since` is the inverse of `absorb`: absorbing per-pass deltas
+    /// reproduces the accumulated totals, so a multi-pass session that
+    /// rebaselines between passes never double-counts.
+    #[test]
+    fn stats_since_inverts_absorb() {
+        let pass1 = arbitrary_stats(2);
+        let pass2 = arbitrary_stats(9);
+        let mut accumulated = pass1;
+        accumulated.absorb(&pass2);
+        assert_eq!(accumulated.since(&pass1), pass2);
+        assert_eq!(accumulated.since(&pass2), pass1);
+        assert_eq!(accumulated.since(&accumulated), EngineStats::default());
+        // Re-absorbing the deltas from a fresh baseline reproduces the
+        // accumulated totals exactly.
+        let mut replayed = EngineStats::default();
+        replayed.absorb(&accumulated.since(&pass2));
+        replayed.absorb(&accumulated.since(&pass1));
+        assert_eq!(replayed, accumulated);
+    }
+
+    /// The generator examine-stamp dedup must not key off `stats.rounds`:
+    /// two independent closures of the same trace (the second standing in
+    /// for a later pass of a multi-pass session with rebaselined stats)
+    /// fire the same generator edges and report identical semantic
+    /// counters.
+    #[test]
+    fn repeated_closures_reuse_no_stale_stamps() {
+        let mut b = TraceBuilder::new();
+        let main = b.thread("main", ThreadKind::Main, true);
+        let binder = b.thread("binder", ThreadKind::Binder, true);
+        let t1 = b.task("A");
+        let t2 = b.task("B");
+        b.thread_init(main);
+        b.attach_q(main);
+        b.loop_on_q(main);
+        b.thread_init(binder);
+        b.post(binder, t1, main);
+        b.post(binder, t2, main);
+        b.begin(main, t1);
+        b.end(main, t1);
+        b.begin(main, t2);
+        b.end(main, t2);
+        let trace = b.finish();
+        let first = HappensBefore::compute(&trace, HbConfig::new());
+        let second = HappensBefore::compute(&trace, HbConfig::new());
+        assert_eq!(first.stats(), second.stats());
+        assert_eq!(first.stats().fifo_fired, 1);
+        assert_eq!(first.relation_matrices().0, second.relation_matrices().0);
     }
 
     /// The incremental engine and the retained reference saturation derive

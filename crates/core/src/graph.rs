@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use droidracer_trace::{TaskId, ThreadId, Trace, TraceIndex};
+use droidracer_trace::{Op, TaskId, ThreadId, Trace, TraceIndex};
 
 use crate::bitmatrix::BitSet;
 
@@ -69,47 +69,11 @@ impl HbGraph {
         breaks: &[usize],
     ) -> Self {
         let break_set: std::collections::HashSet<usize> = breaks.iter().copied().collect();
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut op_node = vec![0usize; trace.len()];
-        // Per-thread id of the currently open access block, if any.
-        let mut open_block: HashMap<ThreadId, NodeId> = HashMap::new();
+        let mut builder = GraphBuilder::new(merge_accesses);
         for (i, op) in trace.iter() {
-            let task = index.task_of(i);
-            if merge_accesses && op.kind.is_access() && !break_set.contains(&i) {
-                if let Some(&block) = open_block.get(&op.thread) {
-                    if nodes[block].task == task {
-                        nodes[block].last = i;
-                        op_node[i] = block;
-                        continue;
-                    }
-                }
-                let id = nodes.len();
-                nodes.push(Node {
-                    thread: op.thread,
-                    task,
-                    first: i,
-                    last: i,
-                    is_access_block: true,
-                });
-                op_node[i] = id;
-                open_block.insert(op.thread, id);
-            } else {
-                // Any synchronization op (or breakpoint) on the thread
-                // closes its block.
-                if op.kind.is_sync() || break_set.contains(&i) {
-                    open_block.remove(&op.thread);
-                }
-                let id = nodes.len();
-                nodes.push(Node {
-                    thread: op.thread,
-                    task,
-                    first: i,
-                    last: i,
-                    is_access_block: op.kind.is_access(),
-                });
-                op_node[i] = id;
-            }
+            builder.push_op(i, op, index.task_of(i), break_set.contains(&i));
         }
+        let GraphBuilder { nodes, op_node, .. } = builder;
         let mut thread_nodes: HashMap<ThreadId, Vec<NodeId>> = HashMap::new();
         for (id, node) in nodes.iter().enumerate() {
             thread_nodes.entry(node.thread).or_default().push(id);
@@ -188,6 +152,125 @@ impl HbGraph {
     }
 }
 
+/// What one [`GraphBuilder::push_op`] did to the node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GraphPush {
+    /// The node assigned to the pushed operation.
+    pub(crate) node: NodeId,
+    /// Whether the push created `node` (false when the op extended an open
+    /// access block).
+    pub(crate) new_node: bool,
+    /// A previously-open access block on the op's thread this push closed:
+    /// the block can never grow again. Singleton nodes (sync ops and
+    /// unmerged accesses) are closed the moment they are created; open
+    /// access blocks close through this field or when the stream finishes.
+    pub(crate) closed: Option<NodeId>,
+}
+
+/// Incremental construction of the node set: operations are pushed one at a
+/// time and the §6 merging decision is made exactly as in the batch fold of
+/// [`HbGraph::build_with_breaks`], which delegates here. The streaming
+/// engine drives this builder op-by-op and keeps its own growable
+/// thread-mask/thread-node indexes.
+#[derive(Debug, Clone)]
+pub(crate) struct GraphBuilder {
+    merge_accesses: bool,
+    nodes: Vec<Node>,
+    op_node: Vec<NodeId>,
+    /// Per-thread id of the currently open access block, if any.
+    open_block: HashMap<ThreadId, NodeId>,
+}
+
+impl GraphBuilder {
+    pub(crate) fn new(merge_accesses: bool) -> Self {
+        GraphBuilder {
+            merge_accesses,
+            nodes: Vec::new(),
+            op_node: Vec::new(),
+            open_block: HashMap::new(),
+        }
+    }
+
+    /// Assigns the operation at trace index `i` to a node. Operations must
+    /// be pushed in trace order (`i` equals the number of ops pushed so
+    /// far); `is_break` forces a singleton node as in
+    /// [`HbGraph::build_with_breaks`].
+    pub(crate) fn push_op(
+        &mut self,
+        i: usize,
+        op: Op,
+        task: Option<TaskId>,
+        is_break: bool,
+    ) -> GraphPush {
+        debug_assert_eq!(i, self.op_node.len(), "ops are pushed in trace order");
+        if self.merge_accesses && op.kind.is_access() && !is_break {
+            if let Some(&block) = self.open_block.get(&op.thread) {
+                if self.nodes[block].task == task {
+                    self.nodes[block].last = i;
+                    self.op_node.push(block);
+                    return GraphPush {
+                        node: block,
+                        new_node: false,
+                        closed: None,
+                    };
+                }
+            }
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                thread: op.thread,
+                task,
+                first: i,
+                last: i,
+                is_access_block: true,
+            });
+            self.op_node.push(id);
+            let closed = self.open_block.insert(op.thread, id);
+            GraphPush {
+                node: id,
+                new_node: true,
+                closed,
+            }
+        } else {
+            // Any synchronization op (or breakpoint) on the thread closes
+            // its block.
+            let closed = if op.kind.is_sync() || is_break {
+                self.open_block.remove(&op.thread)
+            } else {
+                None
+            };
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                thread: op.thread,
+                task,
+                first: i,
+                last: i,
+                is_access_block: op.kind.is_access(),
+            });
+            self.op_node.push(id);
+            GraphPush {
+                node: id,
+                new_node: true,
+                closed,
+            }
+        }
+    }
+
+    /// All nodes created so far, in trace order.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node containing the operation at trace index `op_index`.
+    pub(crate) fn node_of(&self, op_index: usize) -> NodeId {
+        self.op_node[op_index]
+    }
+
+    /// The still-open access block on `thread`, if any.
+    pub(crate) fn open_block_of(&self, thread: ThreadId) -> Option<NodeId> {
+        self.open_block.get(&thread).copied()
+    }
+}
+
 /// Direct-edge adjacency over graph nodes: forward successor lists plus the
 /// reverse predecessor lists the incremental closure uses for dirty-node
 /// propagation.
@@ -210,6 +293,16 @@ impl DirectEdges {
             succ: vec![Vec::new(); n],
             pred: vec![Vec::new(); n],
             edges: 0,
+        }
+    }
+
+    /// Grows the adjacency to cover `n` nodes (no-op if already large
+    /// enough). The streaming engine discovers nodes one at a time, so its
+    /// edge sets grow with the graph instead of being sized up front.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.succ.len() {
+            self.succ.resize_with(n, Vec::new);
+            self.pred.resize_with(n, Vec::new);
         }
     }
 

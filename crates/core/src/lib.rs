@@ -70,6 +70,7 @@ mod report;
 mod robust;
 mod rules;
 mod session;
+mod stream;
 pub mod vc;
 
 pub use classify::{classify, RaceCategory};
@@ -85,4 +86,7 @@ pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
 pub use robust::{Budget, BudgetExhausted, BudgetReason, Quarantined, QuarantineCause};
 pub use rules::{HbConfig, HbMode, RuleSet};
-pub use session::{AnalysisBuilder, AnalysisError, FaultHook};
+pub use session::{AnalysisBuilder, AnalysisError, FaultHook, StreamReport, StreamingSession};
+pub use stream::{
+    RaceEvent, StreamEvent, StreamOptions, StreamOutcome, StreamStats, StreamingAnalysis,
+};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use droidracer_trace::{MemLoc, OpKind, Trace};
+use droidracer_trace::{MemLoc, Op, OpKind, Trace};
 
 use crate::engine::HappensBefore;
 use crate::graph::NodeId;
@@ -44,10 +44,12 @@ pub struct Race {
     pub kind: RaceKind,
 }
 
+/// The earliest read and write a single access block performs on one
+/// location — enough to pick a race witness without retaining every access.
 #[derive(Debug, Default, Clone, Copy)]
-struct BlockAccesses {
-    first_read: Option<usize>,
-    first_write: Option<usize>,
+pub(crate) struct BlockAccesses {
+    pub(crate) first_read: Option<usize>,
+    pub(crate) first_write: Option<usize>,
 }
 
 /// Finds all data races in `trace` under the relation `hb`.
@@ -58,16 +60,30 @@ struct BlockAccesses {
 /// write-write witness). Reporting per block pair rather than per operation
 /// pair loses nothing: all operations of a block share the same orderings.
 pub fn find_races(trace: &Trace, hb: &HappensBefore) -> Vec<Race> {
+    find_races_with(trace.ops(), |i| hb.graph().node_of(i), |a, b| {
+        hb.ordered_nodes(a, b)
+    })
+}
+
+/// Generic detection core: the same scan as [`find_races`] over any node
+/// assignment and node-level ordering predicate. The streaming engine reuses
+/// it at `finish()` with its own incremental graph and column-oriented
+/// relation, so batch and streamed detection share one implementation.
+pub(crate) fn find_races_with(
+    ops: &[Op],
+    node_of: impl Fn(usize) -> NodeId,
+    ordered_nodes: impl Fn(NodeId, NodeId) -> bool,
+) -> Vec<Race> {
     // location -> (node -> accesses)
     let mut per_loc: HashMap<MemLoc, Vec<(NodeId, BlockAccesses)>> = HashMap::new();
     let mut slot: HashMap<(MemLoc, NodeId), usize> = HashMap::new();
-    for (i, op) in trace.iter() {
+    for (i, op) in ops.iter().copied().enumerate() {
         let (loc, is_write) = match op.kind {
             OpKind::Read { loc } => (loc, false),
             OpKind::Write { loc } => (loc, true),
             _ => continue,
         };
-        let node = hb.graph().node_of(i);
+        let node = node_of(i);
         let blocks = per_loc.entry(loc).or_default();
         let idx = *slot.entry((loc, node)).or_insert_with(|| {
             blocks.push((node, BlockAccesses::default()));
@@ -88,17 +104,14 @@ pub fn find_races(trace: &Trace, hb: &HappensBefore) -> Vec<Race> {
         for (i, (node_a, acc_a)) in blocks.iter().enumerate() {
             for (node_b, acc_b) in &blocks[i + 1..] {
                 debug_assert_ne!(node_a, node_b);
-                if hb.ordered_nodes(*node_a, *node_b) || hb.ordered_nodes(*node_b, *node_a) {
+                if ordered_nodes(*node_a, *node_b) || ordered_nodes(*node_b, *node_a) {
                     continue;
                 }
                 let Some(witness) = pick_witness(acc_a, acc_b) else {
                     continue;
                 };
                 let (first, second) = (witness.0.min(witness.1), witness.0.max(witness.1));
-                let kind = match (
-                    trace.op(first).kind.is_write(),
-                    trace.op(second).kind.is_write(),
-                ) {
+                let kind = match (ops[first].kind.is_write(), ops[second].kind.is_write()) {
                     (true, true) => RaceKind::WriteWrite,
                     (true, false) => RaceKind::WriteRead,
                     (false, true) => RaceKind::ReadWrite,
@@ -120,7 +133,7 @@ pub fn find_races(trace: &Trace, hb: &HappensBefore) -> Vec<Race> {
 
 /// Picks a conflicting `(op_a, op_b)` pair across two blocks, preferring a
 /// write-write witness. Returns `None` when neither block writes.
-fn pick_witness(a: &BlockAccesses, b: &BlockAccesses) -> Option<(usize, usize)> {
+pub(crate) fn pick_witness(a: &BlockAccesses, b: &BlockAccesses) -> Option<(usize, usize)> {
     match (a.first_write, b.first_write) {
         (Some(wa), Some(wb)) => Some((wa, wb)),
         (Some(wa), None) => b.first_read.map(|rb| (wa, rb)),

@@ -44,8 +44,8 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use droidracer_obs::{ObsSink, Recorder};
-use droidracer_trace::{validate, Trace, ValidateError};
+use droidracer_obs::{MetricsRegistry, ObsSink, Recorder, SpanRecord};
+use droidracer_trace::{validate, Names, Op, Trace, ValidateError};
 
 use crate::classify::classify;
 use crate::coverage::race_coverage;
@@ -56,6 +56,7 @@ use crate::race::detect;
 use crate::report::{representatives_of, Analysis, AnalysisTiming, ClassifiedRace};
 use crate::robust::{Budget, BudgetExhausted, BudgetReason};
 use crate::rules::{HbConfig, HbMode, RuleSet};
+use crate::stream::{StreamEvent, StreamOptions, StreamOutcome, StreamStats, StreamingAnalysis};
 
 /// Why an analysis session could not produce a result.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +214,28 @@ impl AnalysisBuilder {
         self
     }
 
+    /// Opens an incremental [`StreamingSession`] with this builder's
+    /// relation configuration, budget, observability sink and fault hook.
+    /// The builder's [`Budget`](crate::Budget) applies unless `options`
+    /// carries its own.
+    pub fn streaming(&self, options: StreamOptions) -> StreamingSession {
+        let mut options = options;
+        if options.budget.is_none() && self.budget.is_limited() {
+            options.budget = Some(self.budget);
+        }
+        let mut rec = match self.origin {
+            Some(origin) => Recorder::with_origin(origin),
+            None => Recorder::new(),
+        };
+        rec.start("stream");
+        StreamingSession {
+            inner: StreamingAnalysis::new(self.config, options),
+            rec,
+            sink: self.sink.clone(),
+            fault_hook: self.fault_hook.clone(),
+        }
+    }
+
     /// Fires the fault-injection hook, if any, at a phase boundary.
     fn enter_phase(&self, phase: &str) {
         if let Some(hook) = &self.fault_hook {
@@ -353,6 +376,125 @@ impl AnalysisBuilder {
     }
 }
 
+/// An instrumented streaming session opened by
+/// [`AnalysisBuilder::streaming`]: the incremental engine of
+/// [`StreamingAnalysis`] wired to the builder's observability sink,
+/// resource budget and fault-injection hook.
+///
+/// Push operations as they arrive; [`StreamingSession::finish`] closes the
+/// stream, records the `stream.*` counters into the session span tree and
+/// ships the profile to the configured [`ObsSink`].
+pub struct StreamingSession {
+    inner: StreamingAnalysis,
+    rec: Recorder,
+    sink: Option<Arc<dyn ObsSink>>,
+    fault_hook: Option<FaultHook>,
+}
+
+/// The result of a finished [`StreamingSession`]: the engine outcome plus
+/// the recorded observability profile.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The analysis result (races, counts, matrices, stats, events).
+    pub outcome: StreamOutcome,
+    /// The session span tree (root `stream`, with the `stream.*` counters
+    /// attached).
+    pub spans: SpanRecord,
+    /// The session metrics: one counter per `stream.*` counter and the
+    /// `stream.peak_matrix_bits` / `stream.live_matrix_bits` gauges.
+    pub metrics: MetricsRegistry,
+}
+
+impl StreamingSession {
+    /// Pushes a single operation (a one-op chunk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::BudgetExhausted`] when a budget limit
+    /// trips; the session is poisoned afterwards.
+    pub fn push_op(&mut self, op: Op) -> Result<Vec<StreamEvent>, AnalysisError> {
+        self.push_chunk(&[op])
+    }
+
+    /// Pushes a chunk of operations and returns the race events the chunk
+    /// made derivable (or withdrew).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::BudgetExhausted`] when a budget limit
+    /// trips; the session is poisoned afterwards.
+    pub fn push_chunk(&mut self, ops: &[Op]) -> Result<Vec<StreamEvent>, AnalysisError> {
+        if let Some(hook) = &self.fault_hook {
+            hook("stream.chunk");
+        }
+        self.inner.push_chunk(ops).map_err(AnalysisError::from)
+    }
+
+    /// Session counters so far.
+    pub fn stats(&self) -> StreamStats {
+        self.inner.stats()
+    }
+
+    /// Number of operations pushed so far.
+    pub fn ops_pushed(&self) -> usize {
+        self.inner.ops_pushed()
+    }
+
+    /// Closes the stream: finalizes the engine, reconciles the standing
+    /// emissions, records the `stream.*` counters and ships the profile to
+    /// the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::BudgetExhausted`] when a budget limit
+    /// trips (or had already tripped).
+    pub fn finish(mut self, names: &Names) -> Result<StreamReport, AnalysisError> {
+        if let Some(hook) = &self.fault_hook {
+            hook("stream.finish");
+        }
+        self.rec.start("finalize");
+        let outcome = self.inner.finish(names)?;
+        self.rec.end();
+        let s = outcome.stats;
+        let counters: [(&str, u64); 9] = [
+            ("stream.chunks", s.chunks),
+            ("stream.ops", s.ops),
+            ("stream.races_emitted", s.races_emitted),
+            ("stream.retractions", s.retractions),
+            ("stream.late_emissions", s.late_emissions),
+            ("stream.rebuilds", s.rebuilds),
+            ("stream.retired_rows", s.retired_rows),
+            ("stream.word_ops", s.word_ops),
+            ("stream.degenerate", u64::from(s.degenerate)),
+        ];
+        let mut metrics = MetricsRegistry::new();
+        for (name, value) in counters {
+            self.rec.counter(name, value);
+            metrics.counter_add(name, value);
+        }
+        metrics.gauge_set("stream.peak_matrix_bits", s.peak_matrix_bits as f64);
+        metrics.gauge_set("stream.live_matrix_bits", s.live_matrix_bits as f64);
+        self.rec.end();
+        let spans = self.rec.finish_root();
+        if let Some(sink) = &self.sink {
+            sink.record(&spans, &metrics);
+        }
+        Ok(StreamReport {
+            outcome,
+            spans,
+            metrics,
+        })
+    }
+}
+
+impl fmt::Debug for StreamingSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamingSession")
+            .field("stats", &self.inner.stats())
+            .finish_non_exhaustive()
+    }
+}
+
 impl fmt::Debug for AnalysisBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AnalysisBuilder")
@@ -385,6 +527,70 @@ mod tests {
         b.write(bg, loc);
         b.read(main, loc);
         b.finish()
+    }
+
+    #[test]
+    fn streaming_session_matches_batch_and_records_profile() {
+        let trace = racy_trace();
+        let sink = Arc::new(CollectingSink::new());
+        let builder = AnalysisBuilder::new().sink(sink.clone());
+        let mut session = builder.streaming(StreamOptions::default());
+        for op in trace.ops() {
+            session.push_op(*op).expect("unbudgeted");
+        }
+        let report = session.finish(trace.names()).expect("unbudgeted");
+        let batch = builder.analyze(&trace).expect("runs");
+        assert_eq!(report.outcome.races, batch.races());
+        assert_eq!(report.spans.name, "stream");
+        assert!(report.spans.find("finalize").is_some());
+        assert_eq!(
+            report.metrics.counter("stream.ops"),
+            Some(trace.len() as u64)
+        );
+        assert_eq!(report.metrics.counter("stream.chunks"), Some(trace.len() as u64));
+        assert!(report.metrics.gauge("stream.peak_matrix_bits").is_some());
+        // Both the batch analyze and the stream finish hit the sink.
+        assert_eq!(sink.take().len(), 2);
+    }
+
+    #[test]
+    fn streaming_session_inherits_builder_budget() {
+        let trace = racy_trace();
+        let builder = AnalysisBuilder::new().budget(Budget {
+            max_matrix_bits: Some(1),
+            ..Budget::default()
+        });
+        let mut session = builder.streaming(StreamOptions::default());
+        let mut err = None;
+        for op in trace.ops() {
+            if let Err(e) = session.push_op(*op) {
+                err = Some(e);
+                break;
+            }
+        }
+        match err.expect("1-bit budget must trip") {
+            AnalysisError::BudgetExhausted(e) => {
+                assert_eq!(e.reason, BudgetReason::MatrixBits)
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_fault_hook_fires_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let trace = racy_trace();
+        let chunks = Arc::new(AtomicUsize::new(0));
+        let seen = chunks.clone();
+        let builder = AnalysisBuilder::new().fault_hook(Arc::new(move |phase: &str| {
+            if phase == "stream.chunk" {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        let mut session = builder.streaming(StreamOptions::default());
+        session.push_chunk(trace.ops()).expect("unbudgeted");
+        session.finish(trace.names()).expect("unbudgeted");
+        assert_eq!(chunks.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! 3. [`oracle`] checks the trace against the differential stack:
 //!    incremental vs reference closure, DJIT⁺ vs FastTrack, internal HB
 //!    invariants and the classification partition.
-//! 4. [`witness`] tries to *manifest* each co-enabled/delayed race by
+//! 4. The streaming engine re-analyzes the trace online at a seeded
+//!    random chunk size ([`oracle::check_stream`]): streamed ≡ batch.
+//! 5. [`witness`] tries to *manifest* each co-enabled/delayed race by
 //!    finding a schedule that reorders the racing pair, replaying decision
 //!    vectors through [`droidracer_sim::ScriptedScheduler`].
-//! 5. [`corpus`] folds the iteration's feature set into the coverage map
+//! 6. [`corpus`] folds the iteration's feature set into the coverage map
 //!    that biases step 1 of later iterations.
 //!
 //! Failing inputs are minimized by [`shrink`] and written as plain-text
@@ -159,6 +161,17 @@ impl FuzzReport {
         registry.counter_add("fuzz.witnessed", self.total_witnessed());
         registry.counter_add("fuzz.unwitnessed", self.total_unwitnessed());
         registry.counter_add("fuzz.oracle_divergences", self.oracle_divergences() as u64);
+        registry.counter_add("stream.divergences", self.stream_divergences() as u64);
+    }
+
+    /// Total streamed-vs-batch divergences across all failures (the layer-5
+    /// differential; the CI stream-smoke step asserts this stays zero).
+    pub fn stream_divergences(&self) -> usize {
+        self.failures
+            .iter()
+            .flat_map(|f| &f.divergences)
+            .filter(|d| d.kind == DivergenceKind::StreamedVsBatch)
+            .count()
     }
 
     /// Renders a human-readable session summary; every failure line leads
@@ -307,6 +320,10 @@ pub fn run_fuzz_with_engines(
         let spec = generate(&mut master, &config.gen, &bias);
         let sched_seed = master.next_u64();
         let mut witness_rng = SmallRng::seed_from_u64(master.next_u64());
+        // Streaming differential parameters, drawn after the seeds above so
+        // older sessions' RNG prefixes are unchanged.
+        let stream_chunk = 1 + (master.next_u64() % 97) as usize;
+        let stream_summarize = master.next_u64() & 1 == 1;
 
         let program = match spec.lower() {
             Ok(p) => p,
@@ -357,6 +374,15 @@ pub fn run_fuzz_with_engines(
         coverage.record(&features_of(Some(&spec), &result.trace, &oracle_report));
 
         let mut divergences = oracle_report.divergences.clone();
+
+        // Layer 5: streamed ≡ batch at a seeded random chunk size.
+        divergences.extend(oracle::check_stream(
+            &result.trace,
+            incremental,
+            stream_chunk,
+            stream_summarize,
+            &oracle_report,
+        ));
 
         // Witnessing: attempt to manifest the single-threaded reorderable
         // races; replay mismatches surface as divergences.
@@ -439,6 +465,15 @@ mod tests {
         assert_eq!(report.oracle_divergences(), 0, "{}", report.render());
         assert_eq!(report.iterations, 60);
         assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn streamed_layer_stays_quiet_and_exports_its_counter() {
+        let report = run_fuzz(&small_config(0xD201D, 40));
+        assert_eq!(report.stream_divergences(), 0, "{}", report.render());
+        let mut registry = MetricsRegistry::new();
+        report.export_metrics(&mut registry);
+        assert_eq!(registry.counter("stream.divergences"), Some(0));
     }
 
     #[test]

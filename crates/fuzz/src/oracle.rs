@@ -1,6 +1,7 @@
 //! The differential oracle stack.
 //!
-//! Every feasible trace produced by the fuzzer passes through three layers:
+//! Every feasible trace produced by the fuzzer passes through four layers
+//! (plus the separately-invoked streaming differential, [`check_stream`]):
 //!
 //! 1. **Closure differential** — the incremental worklist engine
 //!    ([`HappensBefore::compute`]) against the retained naive saturation
@@ -24,7 +25,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use droidracer_core::{classify, fasttrack, find_races, vc, HappensBefore, HbConfig};
-use droidracer_core::{CategoryCounts, Race, RaceCategory};
+use droidracer_core::{CategoryCounts, Race, RaceCategory, StreamOptions, StreamingAnalysis};
 use droidracer_trace::{validate, Trace};
 
 /// The oracle layer a divergence was caught by. Discriminants double as the
@@ -48,6 +49,9 @@ pub enum DivergenceKind {
     Partition,
     /// Replaying a recorded decision vector produced a different trace.
     Replay,
+    /// The streaming engine disagrees with the batch engine on the race
+    /// set, the classification, or (unsummarized) a relation matrix.
+    StreamedVsBatch,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -61,6 +65,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::TraceOrder => "trace-order",
             DivergenceKind::Partition => "partition",
             DivergenceKind::Replay => "replay",
+            DivergenceKind::StreamedVsBatch => "streamed-vs-batch",
         };
         f.write_str(s)
     }
@@ -156,6 +161,104 @@ pub fn check_trace(trace: &Trace, incremental: HbConfig, reference: HbConfig) ->
         races,
         counts,
     }
+}
+
+
+/// Layer 5: the streaming differential. Streams the *original* trace
+/// (cancels included, so the replay machinery is exercised) through
+/// [`StreamingAnalysis`] in `chunk`-sized pieces under the same engine
+/// configuration as `expected`, and demands the batch result: identical
+/// classified race set, and — when not summarizing — bit-identical
+/// relation matrices.
+pub fn check_stream(
+    trace: &Trace,
+    config: HbConfig,
+    chunk: usize,
+    summarize: bool,
+    expected: &OracleReport,
+) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let mut session = StreamingAnalysis::new(
+        config,
+        StreamOptions {
+            summarize,
+            window: 16,
+            budget: None,
+        },
+    );
+    for piece in trace.ops().chunks(chunk.max(1)) {
+        if let Err(e) = session.push_chunk(piece) {
+            return vec![Divergence {
+                kind: DivergenceKind::StreamedVsBatch,
+                detail: format!("unbudgeted session exhausted mid-stream: {e}"),
+            }];
+        }
+    }
+    let outcome = match session.finish(trace.names()) {
+        Ok(o) => o,
+        Err(e) => {
+            return vec![Divergence {
+                kind: DivergenceKind::StreamedVsBatch,
+                detail: format!("unbudgeted session exhausted at finish: {e}"),
+            }]
+        }
+    };
+    if outcome.stats.degenerate {
+        out.push(Divergence {
+            kind: DivergenceKind::StreamedVsBatch,
+            detail: "degenerate fallback on a feasible trace".to_owned(),
+        });
+    }
+    let streamed: Vec<(Race, RaceCategory)> = outcome
+        .races
+        .iter()
+        .map(|cr| (cr.race, cr.category))
+        .collect();
+    if streamed != expected.races {
+        out.push(Divergence {
+            kind: DivergenceKind::StreamedVsBatch,
+            detail: format!(
+                "race sets differ at chunk={chunk} summarize={summarize}: \
+                 streamed {} race(s), batch {}",
+                streamed.len(),
+                expected.races.len()
+            ),
+        });
+    }
+    if !summarize {
+        let (bst, bmt) = expected.hb.relation_matrices();
+        match outcome.matrices.as_ref() {
+            Some((st, mt)) => {
+                if st != bst {
+                    out.push(Divergence {
+                        kind: DivergenceKind::StreamedVsBatch,
+                        detail: format!(
+                            "st matrix differs at chunk={chunk}: streamed {} set bits, batch {}",
+                            st.count_ones(),
+                            bst.count_ones()
+                        ),
+                    });
+                }
+                if mt.as_ref() != bmt {
+                    out.push(Divergence {
+                        kind: DivergenceKind::StreamedVsBatch,
+                        detail: format!(
+                            "mt matrix differs at chunk={chunk}: streamed {:?} set bits, batch {:?}",
+                            mt.as_ref().map(|m| m.count_ones()),
+                            bmt.map(|m| m.count_ones())
+                        ),
+                    });
+                }
+            }
+            // The degenerate fallback under no budget still returns
+            // matrices; reaching here means the contract broke.
+            None => out.push(Divergence {
+                kind: DivergenceKind::StreamedVsBatch,
+                detail: "unsummarized session returned no matrices".to_owned(),
+            }),
+        }
+    }
+    out
 }
 
 /// Layer 1: incremental vs reference closure, bit for bit.

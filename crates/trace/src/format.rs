@@ -36,7 +36,7 @@ use crate::op::{Op, OpKind, PostKind};
 use crate::recover::repair;
 use crate::trace::Trace;
 
-const HEADER: &str = "droidracer-trace v1";
+pub(crate) const HEADER: &str = "droidracer-trace v1";
 
 /// An error produced while parsing the text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -255,7 +255,7 @@ pub(crate) struct SyntaxParse {
 /// Parses one non-header line, mutating `names` for declarations and
 /// returning the operation for `op` lines. Errors carry only the message;
 /// the caller attaches the position.
-fn parse_line(l: &str, names: &mut Names) -> Result<Option<Op>, String> {
+pub(crate) fn parse_line(l: &str, names: &mut Names) -> Result<Option<Op>, String> {
     // Quoted names may contain arbitrary whitespace: split the line at
     // the opening quote and tokenize only the head.
     let (head, quoted) = match l.find('"') {

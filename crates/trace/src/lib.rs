@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod chunked;
 mod format;
 mod ids;
 mod names;
@@ -49,10 +50,11 @@ mod trace;
 mod validate;
 
 pub use builder::TraceBuilder;
+pub use chunked::ChunkedReader;
 pub use format::{from_text, from_text_lenient, to_text, Diagnostic, ParseTraceError, Repair};
 pub use ids::{EventId, FieldId, LockId, MemLoc, ObjectId, TaskId, ThreadId, ThreadKind};
 pub use names::{Names, ThreadDecl};
 pub use op::{queue_must_precede, Op, OpKind, PostKind};
 pub use stats::TraceStats;
-pub use trace::{TaskInfo, Trace, TraceIndex};
+pub use trace::{IndexBuilder, TaskInfo, Trace, TraceIndex};
 pub use validate::{validate, ValidateError, ValidateErrorKind};

@@ -170,66 +170,11 @@ pub struct TraceIndex {
 
 impl TraceIndex {
     fn build(trace: &Trace) -> Self {
-        let n_tasks = trace.names().task_count();
-        let mut idx = TraceIndex {
-            op_task: vec![None; trace.len()],
-            tasks: vec![TaskInfo::default(); n_tasks],
-            loop_on_q: HashMap::new(),
-            attach_q: HashMap::new(),
-        };
-        let mut current: HashMap<ThreadId, TaskId> = HashMap::new();
-        for (i, op) in trace.iter() {
-            match op.kind {
-                OpKind::AttachQ => {
-                    idx.attach_q.entry(op.thread).or_insert(i);
-                }
-                OpKind::LoopOnQ => {
-                    idx.loop_on_q.entry(op.thread).or_insert(i);
-                }
-                OpKind::Post {
-                    task,
-                    target,
-                    kind,
-                    event,
-                } => {
-                    idx.ensure_task(task);
-                    let info = &mut idx.tasks[task.index()];
-                    info.post = Some(i);
-                    info.target = Some(target);
-                    info.poster = Some(op.thread);
-                    info.post_kind = kind;
-                    if event.is_some() {
-                        info.event = event;
-                    }
-                    idx.op_task[i] = current.get(&op.thread).copied();
-                }
-                OpKind::Enable { task } => {
-                    idx.ensure_task(task);
-                    idx.tasks[task.index()].enable = Some(i);
-                    idx.op_task[i] = current.get(&op.thread).copied();
-                }
-                OpKind::Begin { task } => {
-                    idx.ensure_task(task);
-                    let info = &mut idx.tasks[task.index()];
-                    info.begin = Some(i);
-                    if info.target.is_none() {
-                        info.target = Some(op.thread);
-                    }
-                    current.insert(op.thread, task);
-                    idx.op_task[i] = Some(task);
-                }
-                OpKind::End { task } => {
-                    idx.ensure_task(task);
-                    idx.tasks[task.index()].end = Some(i);
-                    idx.op_task[i] = Some(task);
-                    current.remove(&op.thread);
-                }
-                _ => {
-                    idx.op_task[i] = current.get(&op.thread).copied();
-                }
-            }
+        let mut builder = IndexBuilder::with_task_capacity(trace.names().task_count());
+        for (_, op) in trace.iter() {
+            builder.push(op);
         }
-        idx
+        builder.finish()
     }
 
     fn ensure_task(&mut self, task: TaskId) {
@@ -302,6 +247,118 @@ impl TraceIndex {
         }
         chain.reverse();
         chain
+    }
+}
+
+/// Incremental construction of a [`TraceIndex`]: operations are pushed in
+/// trace order and the index is readable between pushes.
+/// [`Trace::index`] delegates here, so a fully-pushed builder and the batch
+/// build produce identical indexes; the streaming analysis keeps one builder
+/// alive across chunks.
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuilder {
+    idx: TraceIndex,
+    current: HashMap<ThreadId, TaskId>,
+}
+
+impl IndexBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        IndexBuilder::default()
+    }
+
+    /// A builder whose task table is pre-sized to `n_tasks` default entries,
+    /// matching the batch build (which sizes the table from the name table
+    /// before scanning; pushes still grow it past `n_tasks` on demand).
+    pub fn with_task_capacity(n_tasks: usize) -> Self {
+        let mut b = IndexBuilder::default();
+        b.idx.tasks = vec![TaskInfo::default(); n_tasks];
+        b
+    }
+
+    /// Number of operations pushed so far (the trace index the next push
+    /// will be assigned).
+    pub fn len(&self) -> usize {
+        self.idx.op_task.len()
+    }
+
+    /// Whether no operation has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.idx.op_task.is_empty()
+    }
+
+    /// Records the next operation and returns the task it belongs to (the
+    /// value [`TraceIndex::task_of`] will report for it).
+    pub fn push(&mut self, op: Op) -> Option<TaskId> {
+        let i = self.idx.op_task.len();
+        let idx = &mut self.idx;
+        let op_task = match op.kind {
+            OpKind::AttachQ => {
+                idx.attach_q.entry(op.thread).or_insert(i);
+                None
+            }
+            OpKind::LoopOnQ => {
+                idx.loop_on_q.entry(op.thread).or_insert(i);
+                None
+            }
+            OpKind::Post {
+                task,
+                target,
+                kind,
+                event,
+            } => {
+                idx.ensure_task(task);
+                let info = &mut idx.tasks[task.index()];
+                info.post = Some(i);
+                info.target = Some(target);
+                info.poster = Some(op.thread);
+                info.post_kind = kind;
+                if event.is_some() {
+                    info.event = event;
+                }
+                self.current.get(&op.thread).copied()
+            }
+            OpKind::Enable { task } => {
+                idx.ensure_task(task);
+                idx.tasks[task.index()].enable = Some(i);
+                self.current.get(&op.thread).copied()
+            }
+            OpKind::Begin { task } => {
+                idx.ensure_task(task);
+                let info = &mut idx.tasks[task.index()];
+                info.begin = Some(i);
+                if info.target.is_none() {
+                    info.target = Some(op.thread);
+                }
+                self.current.insert(op.thread, task);
+                Some(task)
+            }
+            OpKind::End { task } => {
+                idx.ensure_task(task);
+                idx.tasks[task.index()].end = Some(i);
+                self.current.remove(&op.thread);
+                Some(task)
+            }
+            _ => self.current.get(&op.thread).copied(),
+        };
+        idx.op_task.push(op_task);
+        op_task
+    }
+
+    /// The index over the operations pushed so far.
+    pub fn index(&self) -> &TraceIndex {
+        &self.idx
+    }
+
+    /// The task currently executing on `thread` (between a `begin` and its
+    /// `end`), if any.
+    pub fn current_task(&self, thread: ThreadId) -> Option<TaskId> {
+        self.current.get(&thread).copied()
+    }
+
+    /// Consumes the builder, yielding the completed index.
+    pub fn finish(self) -> TraceIndex {
+        self.idx
     }
 }
 

@@ -14,7 +14,14 @@
 //! droidracer explore <app-name> [depth] [--profile FILE]
 //! droidracer fuzz [--seed N] [--iters N] [--time-budget SECS]
 //!                 [--profile FILE] [--regressions DIR] [--save-failures DIR]
+//! droidracer stream [<trace-file>|-] [--mode MODE] [--no-merge]
+//!                   [--chunk-ops N] [--summarize] [--window N] [--quiet]
+//!                   [--profile FILE] [budget flags]
 //! ```
+//!
+//! `stream` analyzes a trace online: operations are parsed and ingested
+//! incrementally (from a file or stdin) and races print the moment they
+//! become derivable, ahead of end-of-input.
 //!
 //! Modes: full (default), mt-only, async-only, naive-combined,
 //! events-as-threads. `--profile` writes a Chrome `trace_event` JSON
@@ -28,10 +35,15 @@
 use std::process::ExitCode;
 
 use droidracer::apps;
-use droidracer::core::{AnalysisBuilder, AnalysisError, Budget, HbConfig, HbMode};
+use droidracer::core::{
+    AnalysisBuilder, AnalysisError, Budget, HbConfig, HbMode, RaceEvent, StreamEvent,
+    StreamOptions,
+};
 use droidracer::fuzz::{corpus::replay_regressions, corpus::save_regression, FuzzConfig};
 use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
-use droidracer::trace::{from_text, from_text_lenient, to_text, validate, Trace, TraceStats};
+use droidracer::trace::{
+    from_text, from_text_lenient, to_text, validate, ChunkedReader, Names, Trace, TraceStats,
+};
 use droidracer::Error;
 
 /// Exit-code taxonomy (see the module docs): nothing to report.
@@ -68,6 +80,14 @@ fn usage() -> ExitCode {
       --fail-fast       stop at the first quarantined entry
       --max-ops / --max-matrix-bits / --deadline-ms   per-entry budget
   droidracer explore <app-name> [depth] [--profile FILE]
+  droidracer stream [<trace-file>|-] [options]
+      --mode / --no-merge   as for analyze
+      --chunk-ops N     ops ingested per incremental boundary (default 64)
+      --summarize       retire closed matrix columns into digests
+      --window N        live-column window when summarizing (default 128)
+      --quiet           suppress live race events, print only the summary
+      --profile FILE    write a Chrome trace_event profile; print span tree
+      --max-ops / --max-matrix-bits / --deadline-ms   session budget
   droidracer fuzz [options]
       --seed N          master seed (decimal or 0x-hex; default 0xD201D)
       --iters N         fuzz iterations (default 200)
@@ -543,6 +563,209 @@ fn cmd_explore(entry: &apps::CorpusEntry, depth: usize, profile: Option<&str>) -
     Ok(ExitCode::SUCCESS)
 }
 
+struct StreamOpts {
+    mode: HbMode,
+    merge: bool,
+    chunk_ops: usize,
+    summarize: bool,
+    window: usize,
+    quiet: bool,
+    profile_file: Option<String>,
+    budget: Budget,
+}
+
+fn parse_stream_opts(args: &[String]) -> Option<StreamOpts> {
+    let mut opts = StreamOpts {
+        mode: HbMode::Full,
+        merge: true,
+        chunk_ops: 64,
+        summarize: false,
+        window: 128,
+        quiet: false,
+        profile_file: None,
+        budget: Budget::unlimited(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let advanced = parse_budget_flag(args, i, &mut opts.budget)?;
+        if advanced != i {
+            i = advanced;
+            continue;
+        }
+        match args[i].as_str() {
+            "--mode" => {
+                opts.mode = args.get(i + 1).and_then(|s| parse_mode(s))?;
+                i += 2;
+            }
+            "--no-merge" => {
+                opts.merge = false;
+                i += 1;
+            }
+            "--chunk-ops" => {
+                opts.chunk_ops = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--summarize" => {
+                opts.summarize = true;
+                i += 1;
+            }
+            "--window" => {
+                opts.window = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--quiet" => {
+                opts.quiet = true;
+                i += 1;
+            }
+            "--profile" => {
+                opts.profile_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+/// Renders one live stream event; `+` marks an emission, `-` a retraction.
+fn render_stream_event(sign: char, ev: &RaceEvent, names: &Names) -> String {
+    format!(
+        "{sign} [{}] {} on {} (ops {}, {}) at op {}\n",
+        ev.category,
+        ev.race.kind,
+        names.loc_name(ev.race.loc),
+        ev.race.first,
+        ev.race.second,
+        ev.at,
+    )
+}
+
+fn cmd_stream(path: &str, opts: &StreamOpts) -> Result<ExitCode, Error> {
+    use std::io::BufRead;
+
+    let rec = Recorder::new();
+    let builder = AnalysisBuilder::new()
+        .mode(opts.mode)
+        .merge_accesses(opts.merge)
+        .budget(opts.budget)
+        .clock_origin(rec.origin());
+    let mut session = builder.streaming(StreamOptions {
+        summarize: opts.summarize,
+        window: opts.window,
+        budget: None,
+    });
+
+    let stdin = std::io::stdin();
+    let mut reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(stdin.lock())
+    } else {
+        Box::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    };
+    let mut chunked = ChunkedReader::new();
+    let mut pending: Vec<droidracer::trace::Op> = Vec::new();
+    let mut line = String::new();
+
+    let flush = |session: &mut droidracer::core::StreamingSession,
+                     pending: &mut Vec<droidracer::trace::Op>,
+                     names: &Names|
+     -> Result<Option<ExitCode>, Error> {
+        match session.push_chunk(pending) {
+            Ok(events) => {
+                if !opts.quiet {
+                    for ev in &events {
+                        match ev {
+                            StreamEvent::Emitted(e) => print!("{}", render_stream_event('+', e, names)),
+                            StreamEvent::Retracted(e) => print!("{}", render_stream_event('-', e, names)),
+                        }
+                    }
+                }
+                pending.clear();
+                Ok(None)
+            }
+            Err(AnalysisError::BudgetExhausted(e)) => {
+                eprintln!("{e}");
+                Ok(Some(ExitCode::from(EXIT_QUARANTINE)))
+            }
+            Err(e) => Err(e.into()),
+        }
+    };
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        pending.extend(chunked.push_text(&line)?);
+        if pending.len() >= opts.chunk_ops {
+            if let Some(code) = flush(&mut session, &mut pending, chunked.names())? {
+                return Ok(code);
+            }
+        }
+    }
+    let (names, rest, diags) = chunked.finish()?;
+    pending.extend(rest);
+    for d in &diags {
+        eprintln!("repair: {d}");
+    }
+    if !diags.is_empty() {
+        eprintln!("{} malformed line(s) skipped", diags.len());
+    }
+    if !pending.is_empty() {
+        if let Some(code) = flush(&mut session, &mut pending, &names)? {
+            return Ok(code);
+        }
+    }
+
+    let report = match session.finish(&names) {
+        Ok(r) => r,
+        Err(AnalysisError::BudgetExhausted(e)) => {
+            eprintln!("{e}");
+            return Ok(ExitCode::from(EXIT_QUARANTINE));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if !opts.quiet {
+        for ev in &report.outcome.events {
+            match ev {
+                StreamEvent::Emitted(e) => print!("{}", render_stream_event('+', e, &names)),
+                StreamEvent::Retracted(e) => print!("{}", render_stream_event('-', e, &names)),
+            }
+        }
+    }
+    let s = report.outcome.stats;
+    println!(
+        "{} race(s) in {} op(s), {} chunk(s); emitted={} retracted={} late={} rebuilds={} retired_rows={}{}",
+        report.outcome.races.len(),
+        s.ops,
+        s.chunks,
+        s.races_emitted,
+        s.retractions,
+        s.late_emissions,
+        s.rebuilds,
+        s.retired_rows,
+        if s.degenerate { " (degenerate: batch fallback)" } else { "" },
+    );
+    for cat in droidracer::core::RaceCategory::all() {
+        let n = report.outcome.counts.get(cat);
+        if n > 0 {
+            println!("  {cat}: {n}");
+        }
+    }
+    if let Some(file) = &opts.profile_file {
+        std::fs::write(
+            file,
+            chrome_trace(std::slice::from_ref(&report.spans), &report.metrics),
+        )?;
+        print!("{}", render_span_tree(&report.spans));
+        println!("profile written to {file}");
+    }
+    Ok(if report.outcome.races.is_empty() {
+        ExitCode::from(EXIT_CLEAN)
+    } else {
+        ExitCode::from(EXIT_RACES)
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -650,6 +873,22 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             };
             match cmd_explore(&entry, depth, profile.as_deref()) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(EXIT_FATAL)
+                }
+            }
+        }
+        "stream" => {
+            let (path, rest) = match args.get(1) {
+                Some(a) if !a.starts_with("--") => (a.as_str(), &args[2..]),
+                _ => ("-", &args[1..]),
+            };
+            let Some(opts) = parse_stream_opts(rest) else {
+                return usage();
+            };
+            match cmd_stream(path, &opts) {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");

@@ -6,10 +6,13 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use droidracer::core::{vc, Analysis, AnalysisBuilder, HbConfig, HbMode, RaceCategory};
+use droidracer::core::{
+    classify, detect, vc, Analysis, AnalysisBuilder, ClassifiedRace, HappensBefore, HbConfig,
+    HbMode, RaceCategory, StreamOptions, StreamingAnalysis,
+};
 use droidracer::framework::{compile, App, AppBuilder, Stmt, UiEvent, UiEventKind};
 use droidracer::sim::{run, RandomScheduler, SimConfig};
-use droidracer::trace::{validate, MemLoc, Trace};
+use droidracer::trace::{validate, ChunkedReader, MemLoc, Trace};
 
 /// A cursor over fuzz bytes.
 struct Bytes<'a> {
@@ -212,6 +215,22 @@ fn race_locs(analysis: &Analysis) -> BTreeSet<MemLoc> {
     analysis.races().iter().map(|cr| cr.race.loc).collect()
 }
 
+
+/// Batch races over the cancellation-filtered trace, classified — the
+/// oracle for the streamed≡batch properties below.
+fn batch_races(trace: &Trace, config: HbConfig) -> Vec<ClassifiedRace> {
+    let filtered = trace.without_cancelled();
+    let hb = HappensBefore::compute(&filtered, config);
+    let index = filtered.index();
+    detect(&filtered, &hb)
+        .into_iter()
+        .map(|race| ClassifiedRace {
+            category: classify(&filtered, &index, &hb, &race),
+            race,
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -288,5 +307,74 @@ proptest! {
         let text = droidracer::trace::to_text(&trace);
         let back = droidracer::trace::from_text(&text).expect("parses");
         prop_assert_eq!(back.ops(), trace.ops());
+    }
+
+    /// Streamed ≡ batch on every random chunk partition: the op sequence
+    /// is cut at fuzz-chosen boundaries and pushed chunk by chunk; the
+    /// session must reproduce the batch race set, classification and
+    /// bit-identical matrices.
+    #[test]
+    fn streamed_equals_batch_on_random_partitions(
+        bytes in proptest::collection::vec(any::<u8>(), 0..160),
+        seed in 0u64..300,
+        cuts in proptest::collection::vec(0usize..64, 0..12),
+        mode_pick in 0usize..5,
+    ) {
+        let trace = simulate(&bytes, seed);
+        let config = HbConfig::for_mode(HbMode::all()[mode_pick]);
+        let expected = batch_races(&trace, config);
+        let hb = HappensBefore::compute(&trace.without_cancelled(), config);
+
+        let mut s = StreamingAnalysis::new(config, StreamOptions::default());
+        let mut pos = 0usize;
+        for cut in cuts {
+            let next = (pos + cut).min(trace.len());
+            s.push_chunk(&trace.ops()[pos..next]).expect("unbudgeted");
+            pos = next;
+        }
+        s.push_chunk(&trace.ops()[pos..]).expect("unbudgeted");
+        let out = s.finish(trace.names()).expect("unbudgeted");
+
+        prop_assert_eq!(&out.races, &expected);
+        let (st, mt) = out.matrices.as_ref().expect("unsummarized");
+        let (bst, bmt) = hb.relation_matrices();
+        prop_assert_eq!(st, bst);
+        prop_assert_eq!(mt.as_ref(), bmt);
+    }
+
+    /// Chunked text reading is split-point-invariant: serializing the
+    /// trace, tearing the text at arbitrary byte positions (including
+    /// mid-record) and streaming the recovered ops yields the same
+    /// analysis as the batch pipeline on the original trace.
+    #[test]
+    fn torn_text_chunks_stream_to_the_batch_result(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+        seed in 0u64..200,
+        tears in proptest::collection::vec(1usize..97, 1..8),
+    ) {
+        let trace = simulate(&bytes, seed);
+        let text = droidracer::trace::to_text(&trace);
+        let config = HbConfig::new();
+        let expected = batch_races(&trace, config);
+
+        let mut reader = ChunkedReader::new();
+        let mut s = StreamingAnalysis::new(config, StreamOptions::default());
+        let mut pos = 0usize;
+        for step in tears {
+            let mut next = (pos + step).min(text.len());
+            while !text.is_char_boundary(next) {
+                next += 1;
+            }
+            let ops = reader.push_text(&text[pos..next]).expect("valid header");
+            s.push_chunk(&ops).expect("unbudgeted");
+            pos = next;
+        }
+        let ops = reader.push_text(&text[pos..]).expect("valid header");
+        s.push_chunk(&ops).expect("unbudgeted");
+        let (names, rest, diags) = reader.finish().expect("valid header");
+        prop_assert!(diags.is_empty(), "clean text needs no repairs");
+        s.push_chunk(&rest).expect("unbudgeted");
+        let out = s.finish(&names).expect("unbudgeted");
+        prop_assert_eq!(&out.races, &expected);
     }
 }
