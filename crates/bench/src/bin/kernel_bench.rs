@@ -1,0 +1,183 @@
+//! Micro-benchmarks for the `core::simd` bit kernels.
+//!
+//! Times every chunked kernel against its scalar reference on
+//! deterministic pseudo-random rows, printing median per-iteration times
+//! through the vendored criterion stub. Before timing, each pair is
+//! differentially checked on the bench inputs — a kernel that disagrees
+//! with its scalar reference aborts the run, so CI's kernel-bench smoke
+//! step doubles as an end-to-end equivalence probe on large rows (the
+//! proptest suite covers the small/edge shapes).
+//!
+//! Run with `cargo run --release -p droidracer-bench --bin kernel_bench`.
+//! `KERNEL_BENCH_SAMPLES` overrides the per-benchmark sample count (CI
+//! uses a small value; the default 50 gives steadier medians locally).
+
+use criterion::{BenchmarkId, Criterion};
+use droidracer_core::simd;
+
+/// Row length in words for the timed kernels — wide enough that the chunk
+/// loop dominates the scalar tail (K-9 Mail's matrix rows are ~400 words).
+const WORDS: usize = 4096;
+
+/// Deterministic xorshift64* row fill, `density` ∈ [0,64] bits per word.
+fn row(seed: u64, len: usize, density: u32) -> Vec<u64> {
+    let mut s = seed.max(1);
+    (0..len)
+        .map(|_| {
+            let mut w = 0u64;
+            for _ in 0..density {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                w |= 1u64 << (s % 64);
+            }
+            w
+        })
+        .collect()
+}
+
+fn check_kernels(a: &[u64], b: &[u64], mask: &[u64]) {
+    let (mut v, mut s) = (b.to_vec(), b.to_vec());
+    assert_eq!(
+        simd::or_into(&mut v, a),
+        simd::or_into_scalar(&mut s, a),
+        "or_into changed-flag diverged"
+    );
+    assert_eq!(v, s, "or_into bits diverged");
+
+    let (mut v, mut s) = (b.to_vec(), b.to_vec());
+    assert_eq!(
+        simd::or_into_track(&mut v, a),
+        simd::or_into_track_scalar(&mut s, a),
+        "or_into_track range diverged"
+    );
+    assert_eq!(v, s, "or_into_track bits diverged");
+
+    let (mut v, mut s) = (vec![0u64; WORDS], vec![0u64; WORDS]);
+    let (mut nv, mut ns) = (Vec::new(), Vec::new());
+    assert_eq!(
+        simd::union_masked_collect(a, b, mask, &mut v, 0, |bit| nv.push(bit)),
+        simd::union_masked_collect_scalar(a, b, mask, &mut s, 0, |bit| ns.push(bit)),
+        "union_masked_collect changed-flag diverged"
+    );
+    assert_eq!((v, nv), (s, ns), "union_masked_collect diverged");
+
+    let (mut v, mut s) = (a.to_vec(), a.to_vec());
+    simd::and_not(&mut v, mask);
+    simd::and_not_scalar(&mut s, mask);
+    assert_eq!(v, s, "and_not diverged");
+
+    assert_eq!(
+        simd::count_ones(a),
+        simd::count_ones_scalar(a),
+        "count_ones diverged"
+    );
+
+    let (mut bv, mut bs) = (Vec::new(), Vec::new());
+    simd::for_each_set(a, 3, |bit| bv.push(bit));
+    simd::for_each_set_scalar(a, 3, |bit| bs.push(bit));
+    assert_eq!(bv, bs, "for_each_set diverged");
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let samples: usize = std::env::var("KERNEL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let a = row(0x9E3779B97F4A7C15, WORDS, 8);
+    let b = row(0xD1B54A32D192ED03, WORDS, 8);
+    let mask = row(0x8CB92BA72F3D8DD7, WORDS, 4);
+    check_kernels(&a, &b, &mask);
+    println!("kernel differential check OK ({WORDS}-word rows)\n");
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(samples);
+    for (name, vector) in [("or_into/vector", true), ("or_into/scalar", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            let mut dst = b.clone();
+            bch.iter(|| {
+                if vec {
+                    simd::or_into(&mut dst, &a)
+                } else {
+                    simd::or_into_scalar(&mut dst, &a)
+                }
+            });
+        });
+    }
+    for (name, vector) in [
+        ("or_into_track/vector", true),
+        ("or_into_track/scalar", false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            let mut dst = b.clone();
+            bch.iter(|| {
+                if vec {
+                    simd::or_into_track(&mut dst, &a)
+                } else {
+                    simd::or_into_track_scalar(&mut dst, &a)
+                }
+            });
+        });
+    }
+    for (name, vector) in [
+        ("union_masked_collect/vector", true),
+        ("union_masked_collect/scalar", false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            let mut dst = vec![0u64; WORDS];
+            let mut sink = 0usize;
+            bch.iter(|| {
+                if vec {
+                    simd::union_masked_collect(&a, &b, &mask, &mut dst, 0, |bit| sink ^= bit)
+                } else {
+                    simd::union_masked_collect_scalar(&a, &b, &mask, &mut dst, 0, |bit| {
+                        sink ^= bit
+                    })
+                }
+            });
+            std::hint::black_box(sink);
+        });
+    }
+    for (name, vector) in [("and_not/vector", true), ("and_not/scalar", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            let mut dst = a.clone();
+            bch.iter(|| {
+                if vec {
+                    simd::and_not(&mut dst, &mask)
+                } else {
+                    simd::and_not_scalar(&mut dst, &mask)
+                }
+            });
+        });
+    }
+    for (name, vector) in [("count_ones/vector", true), ("count_ones/scalar", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            bch.iter(|| {
+                if vec {
+                    simd::count_ones(&a)
+                } else {
+                    simd::count_ones_scalar(&a)
+                }
+            });
+        });
+    }
+    for (name, vector) in [("for_each_set/vector", true), ("for_each_set/scalar", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &vector, |bch, &vec| {
+            let mut sink = 0usize;
+            bch.iter(|| {
+                if vec {
+                    simd::for_each_set(&a, 0, |bit| sink ^= bit)
+                } else {
+                    simd::for_each_set_scalar(&a, 0, |bit| sink ^= bit)
+                }
+            });
+            std::hint::black_box(sink);
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_kernels(&mut criterion);
+}

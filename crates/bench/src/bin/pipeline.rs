@@ -21,8 +21,9 @@ use droidracer_apps::{analyze_corpus_isolated, corpus};
 use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
 use droidracer_core::bitmatrix::BitMatrix;
 use droidracer_core::{
-    analyze_all, analyze_all_profiled, default_threads, par_map, Analysis, AnalysisBuilder,
-    Budget, EngineStats, HbConfig, QuarantineCause, StreamOptions, StreamingAnalysis,
+    analyze_all, analyze_all_profiled, default_threads, effective_workers, par_map, Analysis,
+    AnalysisBuilder, Budget, EngineStats, HappensBefore, HbConfig, QuarantineCause,
+    StreamOptions, StreamingAnalysis, SPAWN_MIN_ITEMS,
 };
 use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
@@ -34,6 +35,9 @@ struct Sample {
     seconds: f64,
     traces_per_sec: f64,
     speedup: f64,
+    /// Workers the fan-out actually used ([`effective_workers`]): 1 means
+    /// the pool short-circuited to the inline sequential path.
+    workers: usize,
 }
 
 fn measure(traces: &[Trace], threads: usize, repeats: usize) -> (f64, Vec<Analysis>) {
@@ -99,12 +103,14 @@ fn main() {
             seconds,
             traces_per_sec: traces.len() as f64 / seconds,
             speedup: baseline / seconds,
+            workers: effective_workers(traces.len(), threads),
         });
     }
 
-    let mut table = TextTable::new(["Threads", "Time", "Traces/sec", "Speedup"]);
+    let mut table = TextTable::new(["Threads", "Workers", "Time", "Traces/sec", "Speedup"]);
     table.row([
         "seq".to_owned(),
+        "-".to_owned(),
         format!("{:.3} s", baseline),
         format!("{:.2}", traces.len() as f64 / baseline),
         "1.00x".to_owned(),
@@ -113,13 +119,17 @@ fn main() {
     for s in &samples {
         table.row([
             s.threads.to_string(),
+            s.workers.to_string(),
             format!("{:.3} s", s.seconds),
             format!("{:.2}", s.traces_per_sec),
             format!("{:.2}x", s.speedup),
         ]);
     }
     println!("{}", table.render());
-    println!("(all parallel runs verified bit-identical to the sequential reports)\n");
+    println!(
+        "(all parallel runs verified bit-identical to the sequential reports; \
+         workers=1 is the inline short-circuit, spawn threshold {SPAWN_MIN_ITEMS} items)\n"
+    );
 
     // Aggregate corpus metrics: absorbing each analysis' registry sums the
     // deterministic counters across apps.
@@ -160,6 +170,11 @@ fn main() {
     // starts panicking under isolation) shows up as a nonzero export even
     // before the asserts fire.
     export_robustness_counters(&entries, &traces, &mut registry);
+
+    // Single-trace closure latency: the K-9 Mail hot path, sequential vs
+    // intra-trace parallel, with the per-word-op wall-clock gauge that the
+    // CI ceiling gates.
+    export_closure_latency(&names, &traces, &mut registry);
 
     // Streaming sweep: every corpus trace re-analyzed online (64-op chunks,
     // windowed summarizer) must reproduce the batch reports exactly, and the
@@ -252,6 +267,132 @@ fn export_robustness_counters(
     println!("robustness guard OK: 0 quarantined, 0 repairs, 0 budget exhaustions\n");
 }
 
+/// Times the happens-before closure of the single biggest corpus trace
+/// (K-9 Mail) — sequential and on 8 intra-trace workers, best of 3 each —
+/// verifying the parallel matrices and counters are bit-identical, and
+/// exports:
+///
+/// * `hb.ns_per_word_op` (gauge): sequential closure nanoseconds per
+///   `word_ops` unit — the wall-clock-per-op metric the CI ceiling gates;
+/// * `hb.k9_closure_ms` / `hb.k9_closure_ms_intra8` (gauges): the raw
+///   closure wall times;
+/// * `hb.batches` / `hb.batch_conflicts` (counters): the parallel
+///   schedule's level-group telemetry (deterministic for any worker
+///   count ≥ 2).
+///
+/// Then enforces the checked-in per-word-op ceiling
+/// (`tests/data/ns_per_word_op_ceiling.txt`) — a generous multiple of the
+/// measured value so CI jitter cannot trip it, while an order-of-magnitude
+/// kernel regression still fails the perf-guard step. `BLESS=1` rewrites
+/// the ceiling at 8× the measured value.
+fn export_closure_latency(names: &[&'static str], traces: &[Trace], registry: &mut MetricsRegistry) {
+    let k9 = names
+        .iter()
+        .position(|n| *n == "K-9 Mail")
+        .expect("K-9 Mail missing from the corpus");
+    let trace = traces[k9].without_cancelled();
+    let config = HbConfig::new();
+    let repeats = 3;
+
+    let mut seq_secs = f64::MAX;
+    let mut seq = HappensBefore::compute(&trace, config);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        seq = HappensBefore::compute(&trace, config);
+        seq_secs = seq_secs.min(start.elapsed().as_secs_f64());
+    }
+    let mut par_secs = f64::MAX;
+    let mut par = HappensBefore::compute_parallel(&trace, config, 8);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        par = HappensBefore::compute_parallel(&trace, config, 8);
+        par_secs = par_secs.min(start.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        seq.relation_matrices(),
+        par.relation_matrices(),
+        "intra-trace parallel closure diverged from sequential on K-9 Mail"
+    );
+    let (s, p) = (seq.stats(), par.stats());
+    assert_eq!(
+        (s.word_ops, s.skipped_words, s.rows_recomputed, s.rounds),
+        (p.word_ops, p.skipped_words, p.rows_recomputed, p.rounds),
+        "intra-trace parallel counters diverged on K-9 Mail"
+    );
+
+    let ns_per_word_op = seq_secs * 1e9 / s.word_ops as f64;
+    registry.gauge_set("hb.ns_per_word_op", ns_per_word_op);
+    registry.gauge_set("hb.k9_closure_ms", seq_secs * 1e3);
+    registry.gauge_set("hb.k9_closure_ms_intra8", par_secs * 1e3);
+    registry.counter_add("hb.batches", p.batches);
+    registry.counter_add("hb.batch_conflicts", p.batch_conflicts);
+    println!(
+        "K-9 Mail closure: {:.1} ms sequential ({:.2} ns/word-op over {} word-ops), \
+         {:.1} ms on 8 intra-trace workers ({} level batches, {} in-batch direct edges)\n",
+        seq_secs * 1e3,
+        ns_per_word_op,
+        s.word_ops,
+        par_secs * 1e3,
+        p.batches,
+        p.batch_conflicts
+    );
+    enforce_ns_ceiling(ns_per_word_op);
+}
+
+/// Enforces (or with `BLESS=1` rewrites) the wall-clock-per-word-op
+/// ceiling. Unlike the exact word-ops budget this is a timing threshold,
+/// so the blessed value carries 8× headroom for CI jitter.
+fn enforce_ns_ceiling(measured: f64) {
+    let ceiling_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/ns_per_word_op_ceiling.txt"
+    );
+    if std::env::var("BLESS").is_ok() {
+        let blessed = (measured * 8.0).ceil();
+        let content = format!(
+            "# Ceiling for `hb.ns_per_word_op` (K-9 Mail sequential closure\n\
+             # nanoseconds per word-op), enforced by the pipeline bench. Blessed\n\
+             # at 8x the measured value to absorb CI jitter. Regenerate with:\n\
+             #   BLESS=1 cargo run --release -p droidracer-bench --bin pipeline\n\
+             {blessed}\n"
+        );
+        match std::fs::write(ceiling_path, content) {
+            Ok(()) => println!("blessed ns/word-op ceiling: {blessed}"),
+            Err(e) => {
+                eprintln!("could not write {ceiling_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let ceiling: f64 = match std::fs::read_to_string(ceiling_path) {
+        Ok(text) => match text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse().ok())
+        {
+            Some(c) => c,
+            None => {
+                eprintln!("ns/word-op ceiling file {ceiling_path} is malformed");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("missing ns/word-op ceiling {ceiling_path}: {e} (run with BLESS=1)");
+            std::process::exit(1);
+        }
+    };
+    if measured > ceiling {
+        eprintln!(
+            "PERF REGRESSION: K-9 Mail closure measured {measured:.2} ns/word-op, \
+             ceiling {ceiling:.2}. If intentional, re-bless with BLESS=1."
+        );
+        std::process::exit(1);
+    }
+    println!("ns/word-op ceiling OK: {measured:.2} <= {ceiling:.2}\n");
+}
+
 /// Streams every corpus trace through [`StreamingAnalysis`] in 64-op chunks
 /// with the windowed summarizer on, verifies each streamed report matches
 /// the batch reference exactly, and exports the summed `stream.*` counters
@@ -326,9 +467,20 @@ fn export_stream_counters(
     registry.counter_add("stream.retired_rows", totals.retired_rows);
     registry.counter_add("stream.word_ops", totals.word_ops);
     registry.gauge_set("stream.peak_matrix_bits", peak_max as f64);
+    // The streaming overhead metric: column word-ops relative to the batch
+    // engine's row word-ops on the same corpus (both count words actually
+    // visited inside nonzero bounds since the column store learned the
+    // batch engine's bounds discipline).
+    let batch_total: u64 = reference.iter().map(|a| a.hb().stats().word_ops).sum();
+    let ratio = totals.word_ops as f64 / batch_total as f64;
+    registry.gauge_set("stream.word_ops_ratio", ratio);
     println!(
-        "stream sweep OK: {} ops in {} chunks, {} races emitted live, {} rows retired\n",
+        "stream sweep OK: {} ops in {} chunks, {} races emitted live, {} rows retired",
         totals.ops, totals.chunks, totals.races_emitted, totals.retired_rows
+    );
+    println!(
+        "stream word-ops: {} vs batch {} ({ratio:.3}x)\n",
+        totals.word_ops, batch_total
     );
 }
 
@@ -418,8 +570,10 @@ fn render_json(
     out.push_str("  \"parallel\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"traces_per_sec\": {:.3}, \"speedup\": {:.3} }}{}\n",
+            "    {{ \"threads\": {}, \"effective_workers\": {}, \"seconds\": {:.6}, \
+             \"traces_per_sec\": {:.3}, \"speedup\": {:.3} }}{}\n",
             s.threads,
+            s.workers,
             s.seconds,
             s.traces_per_sec,
             s.speedup,

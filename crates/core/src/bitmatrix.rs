@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use crate::simd;
+
 /// A square boolean matrix backed by `u64` words, storing one row per graph
 /// node. Row `i` holds the set of nodes `j` with an edge (or derived
 /// ordering) `i → j`.
@@ -124,6 +126,26 @@ impl BitMatrix {
         &self.bits[self.row_range(i)]
     }
 
+    /// Word `w` of row `i` — the single-load column probe used by the
+    /// FIFO/NOPRE watcher scans.
+    #[inline]
+    pub fn row_word(&self, i: usize, w: usize) -> u64 {
+        self.bits[i * self.words_per_row + w]
+    }
+
+    /// Overwrites row `i`'s words and bounds wholesale — the write-back half
+    /// of the parallel closure's pure row recomputation. `words` must span
+    /// the full row; `[lo, hi)` must be a valid conservative bound of its
+    /// nonzero words (the pure computation replicates the sequential
+    /// engine's exact `widen` sequence, so the stored bounds are identical
+    /// to what in-place recomputation would have produced).
+    pub(crate) fn store_row(&mut self, i: usize, words: &[u64], lo: usize, hi: usize) {
+        let range = self.row_range(i);
+        self.bits[range].copy_from_slice(words);
+        self.lo[i] = lo as u32;
+        self.hi[i] = hi as u32;
+    }
+
     /// Split-borrows rows `src` (shared) and `dst` (mutable).
     ///
     /// # Panics
@@ -154,12 +176,7 @@ impl BitMatrix {
             return false;
         }
         let (src_row, dst_row) = self.src_dst_rows(src, dst);
-        let mut changed = false;
-        for (dw, sw) in dst_row[slo..shi].iter_mut().zip(&src_row[slo..shi]) {
-            let new = *dw | *sw;
-            changed |= new != *dw;
-            *dw = new;
-        }
+        let changed = simd::or_into(&mut dst_row[slo..shi], &src_row[slo..shi]);
         if changed {
             self.widen(dst, slo, shi);
         }
@@ -198,19 +215,14 @@ impl BitMatrix {
         };
         let with_row = with.row(src);
         let (src_row, dst_row) = self.src_dst_rows(src, dst);
-        let mut changed = false;
-        for w in lo..hi {
-            let val = (src_row[w] | with_row[w]) & !mask[w];
-            let mut added = val & !dst_row[w];
-            if added != 0 {
-                changed = true;
-                dst_row[w] |= val;
-                while added != 0 {
-                    on_new(w * 64 + added.trailing_zeros() as usize);
-                    added &= added - 1;
-                }
-            }
-        }
+        let changed = simd::union_masked_collect(
+            &src_row[lo..hi],
+            &with_row[lo..hi],
+            &mask[lo..hi],
+            &mut dst_row[lo..hi],
+            lo,
+            &mut on_new,
+        );
         if changed {
             self.widen(dst, lo, hi);
         }
@@ -220,30 +232,19 @@ impl BitMatrix {
     /// ORs an external word slice into row `dst`. Returns `true` on change.
     pub fn or_words_into(&mut self, words: &[u64], dst: usize) -> bool {
         let range = self.row_range(dst);
-        let mut changed = false;
-        let (mut wlo, mut whi) = (usize::MAX, 0usize);
-        for (w, (dw, sw)) in self.bits[range].iter_mut().zip(words.iter()).enumerate() {
-            let new = *dw | *sw;
-            if new != *dw {
-                changed = true;
-                wlo = wlo.min(w);
-                whi = w + 1;
-            }
-            *dw = new;
-        }
-        if changed {
+        if let Some((wlo, whi)) = simd::or_into_track(&mut self.bits[range], words) {
             self.widen(dst, wlo, whi);
+            true
+        } else {
+            false
         }
-        changed
     }
 
     /// ANDs the complement of `mask` into row `dst` (clears masked bits).
     /// The row's bounds stay valid: they over-approximate.
     pub fn clear_masked(&mut self, mask: &[u64], dst: usize) {
         let range = self.row_range(dst);
-        for (dw, mw) in self.bits[range].iter_mut().zip(mask.iter()) {
-            *dw &= !*mw;
-        }
+        simd::and_not(&mut self.bits[range], mask);
     }
 
     /// Iterates over the set bit positions of row `i`, scanning only its
@@ -253,14 +254,22 @@ impl BitMatrix {
         BitIter::with_offset(&self.row(i)[lo..hi], lo)
     }
 
+    /// Calls `f` with every set bit position of row `i` in ascending order,
+    /// scanning only the bounded word range — the eager, chunked counterpart
+    /// of [`BitMatrix::iter_row`] for the frontier-seeding hot path.
+    pub fn for_each_set_in_row(&self, i: usize, f: impl FnMut(usize)) {
+        let (lo, hi) = self.row_bounds(i);
+        simd::for_each_set(&self.row(i)[lo..hi], lo, f);
+    }
+
     /// Number of set bits in the whole matrix.
     pub fn count_ones(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+        simd::count_ones(&self.bits)
     }
 
     /// Number of set bits in row `i`.
     pub fn row_count_ones(&self, i: usize) -> usize {
-        self.row(i).iter().map(|w| w.count_ones() as usize).sum()
+        simd::count_ones(self.row(i))
     }
 }
 
@@ -534,6 +543,29 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 99]);
         s.clear();
         assert!(!s.contains(99) && s.iter().next().is_none());
+    }
+
+    #[test]
+    fn for_each_set_in_row_matches_iter_row() {
+        let mut m = BitMatrix::new(300);
+        for j in [1, 64, 130, 131, 299] {
+            m.set(2, j);
+        }
+        let mut got = Vec::new();
+        m.for_each_set_in_row(2, |b| got.push(b));
+        assert_eq!(got, m.iter_row(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn store_row_overwrites_bits_and_bounds() {
+        let mut m = BitMatrix::new(130);
+        m.set(1, 5);
+        let mut words = vec![0u64; m.words_per_row()];
+        words[2] = 0b1001;
+        m.store_row(1, &words, 2, 3);
+        assert_eq!(m.iter_row(1).collect::<Vec<_>>(), vec![128, 131]);
+        assert_eq!(m.row_bounds(1), (2, 3));
+        assert!(!m.get(1, 5));
     }
 
     #[test]

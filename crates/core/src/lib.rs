@@ -70,6 +70,7 @@ mod report;
 mod robust;
 mod rules;
 mod session;
+pub mod simd;
 mod stream;
 pub mod vc;
 
@@ -79,8 +80,8 @@ pub use explain::{explain, to_dot};
 pub use engine::{EngineStats, HappensBefore};
 pub use graph::{DirectEdges, HbGraph, Node, NodeId};
 pub use par::{
-    analyze_all, analyze_all_profiled, analyze_all_with, default_threads, par_map,
-    par_map_profiled, par_try_map, ItemError,
+    analyze_all, analyze_all_profiled, analyze_all_with, default_threads, effective_workers,
+    par_map, par_map_profiled, par_try_map, ItemError, SPAWN_MIN_ITEMS,
 };
 pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};

@@ -47,6 +47,33 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Minimum item count before a fan-out spawns worker threads.
+///
+/// Spawning and joining a scoped pool costs tens of microseconds; below
+/// this many items the fixed overhead dominates any speedup (the pipeline
+/// bench measured the parallel path at 0.878× sequential for `threads=1`
+/// before the short-circuit was made explicit). Items here are whole
+/// analyses or row batches — milliseconds each — so the threshold is low;
+/// per-row granularity is guarded separately by the engine's
+/// `PAR_GROUP_MIN`.
+pub const SPAWN_MIN_ITEMS: usize = 2;
+
+/// The worker count a fan-out will actually use: `1` (the inline
+/// sequential path — no threads spawned) when `threads ≤ 1` or there are
+/// fewer than [`SPAWN_MIN_ITEMS`] items, otherwise `threads` capped at the
+/// item count.
+///
+/// [`par_map`] and [`par_try_map`] route through this, so callers (the
+/// pipeline bench exports it as `par.effective_workers`) can report which
+/// path a fan-out took without instrumenting the pool.
+pub fn effective_workers(items: usize, threads: usize) -> usize {
+    if threads <= 1 || items < SPAWN_MIN_ITEMS {
+        1
+    } else {
+        threads.min(items)
+    }
+}
+
 /// Applies `f` to every item on `threads` workers, returning results in
 /// input order (see the module documentation for the contract).
 ///
@@ -59,10 +86,10 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
+    let workers = effective_workers(items.len(), threads);
+    if workers == 1 {
         return items.iter().map(f).collect();
     }
-    let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
     // Collected (index, result) pairs; each worker drains its local batch
     // into this under one short lock at exit.
@@ -157,12 +184,12 @@ where
             Err(payload) => Err(ItemError::Panic(panic_message(payload))),
         }
     };
-    if threads <= 1 || items.len() <= 1 {
+    let workers = effective_workers(items.len(), threads);
+    if workers == 1 {
         return items.iter().map(isolated).collect();
     }
     // One (input index, outcome) pair per item, gathered across workers.
     type Slot<R, E> = (usize, Result<R, ItemError<E>>);
-    let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
     let gathered: Mutex<Vec<Slot<R, E>>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
@@ -410,6 +437,20 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn effective_workers_encodes_the_spawn_threshold() {
+        // threads ≤ 1 is always the inline path.
+        assert_eq!(effective_workers(100, 0), 1);
+        assert_eq!(effective_workers(100, 1), 1);
+        // Below the spawn threshold: inline regardless of threads.
+        assert_eq!(effective_workers(0, 8), 1);
+        assert_eq!(effective_workers(SPAWN_MIN_ITEMS - 1, 8), 1);
+        // At/above threshold: capped at the item count.
+        assert_eq!(effective_workers(SPAWN_MIN_ITEMS, 8), SPAWN_MIN_ITEMS.min(8));
+        assert_eq!(effective_workers(3, 16), 3);
+        assert_eq!(effective_workers(100, 8), 8);
     }
 
     #[test]

@@ -62,6 +62,7 @@ use crate::race::{find_races_with, pick_witness, BlockAccesses, Race};
 use crate::report::{CategoryCounts, ClassifiedRace};
 use crate::robust::{Budget, BudgetExhausted, BudgetReason};
 use crate::rules::HbConfig;
+use crate::simd;
 
 /// Options controlling a [`StreamingAnalysis`] session.
 #[derive(Debug, Clone, Copy)]
@@ -175,20 +176,47 @@ pub struct StreamOutcome {
 // Column store
 // ---------------------------------------------------------------------------
 
-/// One predecessor column: live words, or a frozen run-length digest.
+/// One predecessor column: live words with conservative nonzero-word
+/// bounds, or a frozen run-length digest.
 #[derive(Debug, Clone)]
 enum Col {
     /// Mutable words; `col(j)` has `j.div_ceil(64)` words (bits `< j`).
-    Live(Vec<u64>),
+    /// Every nonzero word lies in `[lo, hi)` — the same conservative
+    /// bounds discipline as [`BitMatrix`], maintained by `Cols::set` and
+    /// rescanned after a recompute. Predecessor ORs touch only the bounded
+    /// span, which is what brings `stream.word_ops` near the batch
+    /// engine's (batch rows and stream columns count the same kind of
+    /// work: words actually visited inside bounds).
+    Live {
+        words: Vec<u64>,
+        lo: usize,
+        hi: usize,
+    },
     /// Retired: `(word, run)` pairs compressing the frozen word array.
     Retired(Vec<(u64, u32)>),
 }
 
 impl Col {
+    /// Wraps a recomputed word array as a live column, rescanning its
+    /// nonzero bounds (one pass — cheap next to the ORs that built it).
+    fn live_from(words: Vec<u64>) -> Col {
+        let (lo, hi) = match words.iter().position(|&w| w != 0) {
+            Some(first) => {
+                let last = words
+                    .iter()
+                    .rposition(|&w| w != 0)
+                    .expect("a nonzero word exists");
+                (first, last + 1)
+            }
+            None => (0, 0),
+        };
+        Col::Live { words, lo, hi }
+    }
+
     fn get(&self, bit: usize) -> bool {
         let (w, m) = (bit / 64, 1u64 << (bit % 64));
         match self {
-            Col::Live(words) => words.get(w).map(|x| x & m != 0).unwrap_or(false),
+            Col::Live { words, .. } => words.get(w).map(|x| x & m != 0).unwrap_or(false),
             Col::Retired(rle) => {
                 let mut at = 0usize;
                 for &(word, run) in rle {
@@ -203,15 +231,42 @@ impl Col {
         }
     }
 
-    /// ORs the column's words into the prefix of `dst`.
-    fn or_into(&self, dst: &mut [u64]) {
+    /// The column's conservative nonzero-word span, clamped to `cap`
+    /// words. For retired columns the span is derived from the digest's
+    /// nonzero runs (the digest is short by construction).
+    fn bounds(&self, cap: usize) -> (usize, usize) {
         match self {
-            Col::Live(words) => {
-                for (d, s) in dst.iter_mut().zip(words) {
-                    *d |= *s;
+            Col::Live { lo, hi, .. } => ((*lo).min(cap), (*hi).min(cap)),
+            Col::Retired(rle) => {
+                let (mut lo, mut hi, mut at) = (0usize, 0usize, 0usize);
+                for &(word, run) in rle {
+                    let next = at + run as usize;
+                    if word != 0 {
+                        if hi == 0 {
+                            lo = at;
+                        }
+                        hi = next;
+                    }
+                    at = next;
                 }
+                (lo.min(cap), hi.min(cap))
+            }
+        }
+    }
+
+    /// ORs the column's words into the prefix of `dst`, visiting only the
+    /// bounded nonzero span; returns the number of words touched (the
+    /// column engine's `word_ops` currency).
+    fn or_into_counted(&self, dst: &mut [u64]) -> u64 {
+        match self {
+            Col::Live { words, lo, hi } => {
+                let hi = (*hi).min(dst.len()).min(words.len());
+                let lo = (*lo).min(hi);
+                simd::or_into(&mut dst[lo..hi], &words[lo..hi]);
+                (hi - lo) as u64
             }
             Col::Retired(rle) => {
+                let mut touched = 0u64;
                 let mut at = 0usize;
                 'outer: for &(word, run) in rle {
                     if word == 0 {
@@ -224,27 +279,27 @@ impl Col {
                         }
                         dst[at] |= word;
                         at += 1;
+                        touched += 1;
                     }
                 }
+                touched
             }
         }
     }
 
     /// Calls `f` with every set bit position.
     fn for_each_set(&self, mut f: impl FnMut(usize)) {
-        let mut visit = |w: usize, mut word: u64| {
-            while word != 0 {
-                f(w * 64 + word.trailing_zeros() as usize);
-                word &= word - 1;
-            }
-        };
         match self {
-            Col::Live(words) => {
-                for (w, &word) in words.iter().enumerate() {
-                    visit(w, word);
-                }
+            Col::Live { words, lo, hi } => {
+                simd::for_each_set(&words[*lo..*hi], *lo, &mut f);
             }
             Col::Retired(rle) => {
+                let mut visit = |w: usize, mut word: u64| {
+                    while word != 0 {
+                        f(w * 64 + word.trailing_zeros() as usize);
+                        word &= word - 1;
+                    }
+                };
                 let mut at = 0usize;
                 for &(word, run) in rle {
                     if word != 0 {
@@ -271,7 +326,11 @@ impl Cols {
     fn push_col(&mut self) {
         let id = self.cols.len();
         let words = id.div_ceil(64);
-        self.cols.push(Col::Live(vec![0; words]));
+        self.cols.push(Col::Live {
+            words: vec![0; words],
+            lo: 0,
+            hi: 0,
+        });
         self.live_words += words as u64;
     }
 
@@ -280,10 +339,16 @@ impl Cols {
     fn set(&mut self, i: NodeId, j: NodeId) -> bool {
         debug_assert!(i < j);
         match &mut self.cols[j] {
-            Col::Live(words) => {
+            Col::Live { words, lo, hi } => {
                 let (w, m) = (i / 64, 1u64 << (i % 64));
                 let was = words[w] & m != 0;
                 words[w] |= m;
+                if *lo == *hi {
+                    (*lo, *hi) = (w, w + 1);
+                } else {
+                    *lo = (*lo).min(w);
+                    *hi = (*hi).max(w + 1);
+                }
                 !was
             }
             Col::Retired(_) => unreachable!("retired columns are frozen"),
@@ -296,7 +361,7 @@ impl Cols {
 
     /// Retires column `j` into a run-length digest.
     fn retire(&mut self, j: NodeId) {
-        let Col::Live(words) = &self.cols[j] else {
+        let Col::Live { words, .. } = &self.cols[j] else {
             return;
         };
         let mut rle: Vec<(u64, u32)> = Vec::new();
@@ -993,29 +1058,38 @@ impl StreamEngine {
     ///   and every newly derived mt bit re-enters the frontier.
     fn recompute_col(&mut self, j: NodeId) -> Result<(), BudgetReason> {
         self.poll.check(self.work_base + self.word_ops)?;
-        let words = j.div_ceil(64);
-        // ST phase (the whole computation in plain mode).
-        let mut dst = match std::mem::replace(&mut self.st.cols[j], Col::Live(Vec::new())) {
-            Col::Live(v) => v,
+        let empty = || Col::Live {
+            words: Vec::new(),
+            lo: 0,
+            hi: 0,
+        };
+        // ST phase (the whole computation in plain mode). Each predecessor
+        // OR touches only the predecessor column's nonzero span, and
+        // `word_ops` counts the words actually visited — the same currency
+        // as the batch engine's bounded row ORs.
+        let mut dst = match std::mem::replace(&mut self.st.cols[j], empty()) {
+            Col::Live { words, .. } => words,
             Col::Retired(_) => unreachable!("dirty columns are never retired"),
         };
         for &p in self.st_edges.preds(j) {
-            self.st.cols[p].or_into(&mut dst);
-            self.word_ops += p.div_ceil(64) as u64;
+            self.word_ops += self.st.cols[p].or_into_counted(&mut dst);
         }
-        self.st.cols[j] = Col::Live(dst);
+        self.st.cols[j] = Col::live_from(dst);
         if self.plain {
             return Ok(());
         }
         // MT phase.
         let t = self.node_thread(j).index();
-        let mut dst = match std::mem::replace(&mut self.mt.cols[j], Col::Live(Vec::new())) {
-            Col::Live(v) => v,
+        let mut dst = match std::mem::replace(&mut self.mt.cols[j], empty()) {
+            Col::Live { words, .. } => words,
             Col::Retired(_) => unreachable!("dirty columns are never retired"),
         };
         let mut frontier = std::mem::take(&mut self.frontier);
         frontier.clear();
-        frontier.extend_from_slice(self.mt_edges.preds(j));
+        // Direct mt predecessors need no explicit seeding: `add_edge` set
+        // their bits in this column and recompute only ever ORs, so the
+        // dst scan below covers them — seeding them again would pop (and
+        // charge) every one twice.
         frontier.extend_from_slice(self.st_edges.preds(j));
         for (w, &word) in dst.iter().enumerate() {
             let mut word = word;
@@ -1030,13 +1104,29 @@ impl StreamEngine {
             if kw == 0 {
                 continue;
             }
+            // Contribution of k is `(st_col(k) | mt_col(k)) & ¬mask`; both
+            // columns are zero outside their bounds, so the scratch fill
+            // and the merge scan are restricted to the union span.
+            let (slo, shi) = self.st.cols[k].bounds(kw);
+            let (mlo, mhi) = self.mt.cols[k].bounds(kw);
+            let (ulo, uhi) = match (slo < shi, mlo < mhi) {
+                (true, true) => (slo.min(mlo), shi.max(mhi)),
+                (true, false) => (slo, shi),
+                (false, true) => (mlo, mhi),
+                (false, false) => continue,
+            };
             scratch.clear();
-            scratch.resize(kw, 0);
-            self.st.cols[k].or_into(&mut scratch);
-            self.mt.cols[k].or_into(&mut scratch);
-            self.word_ops += kw as u64;
+            scratch.resize(uhi, 0);
+            // The scratch fills read exactly the words the merge scan below
+            // visits, so — like the batch engine's fused masked-union
+            // kernel, which reads st|mt|mask|dst in one bounded loop — the
+            // pop is charged its union span once.
+            let _ = self.st.cols[k].or_into_counted(&mut scratch);
+            let _ = self.mt.cols[k].or_into_counted(&mut scratch);
+            self.word_ops += (uhi - ulo) as u64;
             let mask = &self.thread_masks[t];
-            for (w, dw) in dst.iter_mut().take(kw).enumerate() {
+            for (w, dw) in dst[ulo..uhi].iter_mut().enumerate() {
+                let w = w + ulo;
                 let m = mask.get(w).copied().unwrap_or(0);
                 let val = scratch[w] & !m;
                 let mut added = val & !*dw;
@@ -1049,10 +1139,9 @@ impl StreamEngine {
                 }
             }
         }
-        let _ = words;
         self.scratch = scratch;
         self.frontier = frontier;
-        self.mt.cols[j] = Col::Live(dst);
+        self.mt.cols[j] = Col::live_from(dst);
         Ok(())
     }
 

@@ -1,0 +1,212 @@
+//! Intra-trace parallel closure ≡ sequential equivalence suite.
+//!
+//! [`HappensBefore::compute_parallel`] partitions each saturation pass
+//! into level batches recomputed concurrently; its contract is that the
+//! closed matrices *and* every engine counter except the
+//! `batches`/`batch_conflicts` scheduling telemetry are bit-identical to
+//! the sequential engine for every worker count. These tests pin that on
+//! the full 15-app corpus, on proptest-generated random applications, and
+//! through the session API's `intra_threads` knob, for
+//! `threads ∈ {1, 2, 8}`.
+
+use proptest::prelude::*;
+
+use droidracer::apps::corpus;
+use droidracer::core::{AnalysisBuilder, EngineStats, HappensBefore, HbConfig, HbMode};
+use droidracer::framework::{compile, App, AppBuilder, Stmt, UiEvent, UiEventKind};
+use droidracer::sim::{run, RandomScheduler, SimConfig};
+use droidracer::trace::Trace;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Everything except the scheduling telemetry must match the sequential
+/// engine exactly; the telemetry itself must be zero on the sequential
+/// path and identical for any parallel worker count.
+fn strip_telemetry(stats: &EngineStats) -> EngineStats {
+    EngineStats {
+        batches: 0,
+        batch_conflicts: 0,
+        ..*stats
+    }
+}
+
+fn assert_parallel_equivalent(trace: &Trace, config: HbConfig, context: &str) {
+    let trace = trace.without_cancelled();
+    let sequential = HappensBefore::compute(&trace, config);
+    let mut parallel_telemetry: Option<(u64, u64)> = None;
+    for threads in THREAD_COUNTS {
+        let par = HappensBefore::compute_parallel(&trace, config, threads);
+        assert_eq!(
+            sequential.relation_matrices(),
+            par.relation_matrices(),
+            "{context}: matrices diverged at {threads} threads"
+        );
+        assert_eq!(
+            strip_telemetry(sequential.stats()),
+            strip_telemetry(par.stats()),
+            "{context}: counters diverged at {threads} threads"
+        );
+        let p = par.stats();
+        if threads <= 1 {
+            assert_eq!(
+                (p.batches, p.batch_conflicts),
+                (0, 0),
+                "{context}: sequential path must not report batches"
+            );
+        } else {
+            // The level partition is a pure function of the graph, so the
+            // telemetry is identical for any worker count ≥ 2.
+            match parallel_telemetry {
+                None => parallel_telemetry = Some((p.batches, p.batch_conflicts)),
+                Some(expect) => assert_eq!(
+                    (p.batches, p.batch_conflicts),
+                    expect,
+                    "{context}: telemetry varies with worker count"
+                ),
+            }
+        }
+    }
+}
+
+/// Every corpus app under the production configuration.
+#[test]
+fn corpus_closure_is_identical_across_intra_thread_counts() {
+    for entry in corpus() {
+        let trace = entry.generate_trace().expect("corpus entries generate");
+        assert_parallel_equivalent(&trace, HbConfig::new(), entry.name);
+    }
+}
+
+/// The session API's `intra_threads` knob produces identical analyses —
+/// races, counts, rendered reports, span structure — on the corpus apps
+/// large enough to actually dispatch batches.
+#[test]
+fn corpus_sessions_are_identical_across_intra_thread_counts() {
+    for entry in corpus().iter().take(4) {
+        let trace = entry.generate_trace().expect("corpus entries generate");
+        let base = AnalysisBuilder::new().analyze(&trace).expect("runs");
+        for threads in THREAD_COUNTS {
+            let par = AnalysisBuilder::new()
+                .intra_threads(threads)
+                .analyze(&trace)
+                .expect("runs");
+            let context = format!("{} at {} intra threads", entry.name, threads);
+            assert_eq!(par.races(), base.races(), "{context}: races");
+            assert_eq!(par.counts(), base.counts(), "{context}: counts");
+            assert_eq!(par.render(), base.render(), "{context}: report");
+            assert_eq!(
+                strip_telemetry(par.hb().stats()),
+                strip_telemetry(base.hb().stats()),
+                "{context}: counters"
+            );
+            assert_eq!(
+                par.spans().structure(),
+                base.spans().structure(),
+                "{context}: span structure"
+            );
+        }
+    }
+}
+
+/// Derives a small valid app from fuzz bytes (same surface as the closure
+/// equivalence suite: forward posts, a worker thread, shared variables).
+fn build_app(bytes: &[u8]) -> (App, Vec<UiEvent>) {
+    let mut pos = 0usize;
+    let mut next = |n: usize| -> usize {
+        let b = bytes.get(pos).copied().unwrap_or(0) as usize;
+        pos += 1;
+        if n == 0 {
+            0
+        } else {
+            b % n
+        }
+    };
+    let mut b = AppBuilder::new("ParClosureFuzz");
+    let act = b.activity("Main");
+    let vars: Vec<_> = (0..1 + next(3))
+        .map(|i| b.var("obj", format!("f{i}")))
+        .collect();
+    let leaf = |next: &mut dyn FnMut(usize) -> usize| -> Stmt {
+        let v = vars[next(vars.len())];
+        if next(2) == 0 {
+            Stmt::Read(v)
+        } else {
+            Stmt::Write(v)
+        }
+    };
+    let late = b.handler("late", vec![leaf(&mut next), leaf(&mut next)]);
+    let mut mid_body = vec![leaf(&mut next)];
+    if next(2) == 0 {
+        mid_body.push(Stmt::Post {
+            handler: late,
+            delay: if next(3) == 0 { Some(20) } else { None },
+            front: next(5) == 0,
+        });
+    }
+    let mid = b.handler("mid", mid_body);
+    let w = b.worker(
+        "bg",
+        vec![
+            leaf(&mut next),
+            Stmt::Post {
+                handler: mid,
+                delay: None,
+                front: false,
+            },
+        ],
+    );
+    let mut on_create = vec![Stmt::ForkWorker(w), leaf(&mut next)];
+    for _ in 0..next(3) {
+        on_create.push(Stmt::Post {
+            handler: mid,
+            delay: if next(4) == 0 { Some(10) } else { None },
+            front: false,
+        });
+    }
+    b.on_create(act, on_create);
+    let btn = b.button(act, "go", vec![leaf(&mut next)]);
+    let mut events = Vec::new();
+    for _ in 0..next(3) {
+        events.push(UiEvent::Widget(btn, UiEventKind::Click));
+    }
+    (b.finish(), events)
+}
+
+fn simulate(bytes: &[u8], seed: u64) -> Trace {
+    let (app, events) = build_app(bytes);
+    let compiled = compile(&app, &events).expect("fuzzed apps compile");
+    let result = run(
+        &compiled.program,
+        &mut RandomScheduler::new(seed),
+        &SimConfig::default(),
+    )
+    .expect("fuzzed apps run");
+    result.trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traces close identically across intra-trace thread counts
+    /// under every rule preset, merged and unmerged.
+    #[test]
+    fn random_traces_are_identical_across_intra_thread_counts(
+        bytes in proptest::collection::vec(any::<u8>(), 0..48),
+        seed in 0u64..1000,
+    ) {
+        let trace = simulate(&bytes, seed);
+        for mode in HbMode::all() {
+            for merge in [true, false] {
+                let config = HbConfig {
+                    rules: mode.rule_set(),
+                    merge_accesses: merge,
+                };
+                assert_parallel_equivalent(
+                    &trace,
+                    config,
+                    &format!("fuzz seed {seed} / {mode:?} / merge={merge}"),
+                );
+            }
+        }
+    }
+}
