@@ -22,11 +22,12 @@ use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
 use droidracer_core::bitmatrix::BitMatrix;
 use droidracer_core::{
     analyze_all, analyze_all_profiled, default_threads, effective_workers, par_map, Analysis,
-    AnalysisBuilder, Budget, EngineStats, HappensBefore, HbConfig, QuarantineCause,
-    StreamOptions, StreamingAnalysis, SPAWN_MIN_ITEMS,
+    AnalysisBuilder, Budget, EngineStats, ExitClass, HappensBefore, HbConfig, JobReport,
+    JobSpec, QuarantineCause, StreamOptions, StreamingAnalysis, SPAWN_MIN_ITEMS,
 };
 use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
+use droidracer_server::{status_counter, Client, Server, ServerConfig, Submission};
 use droidracer_trace::{from_text_lenient, to_text, Trace};
 
 /// One measured sweep point.
@@ -181,6 +182,13 @@ fn main() {
     // summarizer must demonstrably bound memory on the largest app. The
     // `stream.*` counters land in the bench JSON.
     export_stream_counters(&names, &traces, &reference, &mut registry);
+
+    // Server load sweep: a live in-process daemon serves the whole corpus
+    // under mixed clean/corrupt/oversized/hostile traffic; every served
+    // report must equal the direct reference, and the second clean pass
+    // must be answered entirely from the cache. The `srv.*` counters land
+    // in the bench JSON.
+    export_server_counters(&names, &traces, &reference, &mut registry);
 
     // Profile determinism check: the exported span structure — not just the
     // reports — must be bit-identical across thread counts once the
@@ -481,6 +489,150 @@ fn export_stream_counters(
     println!(
         "stream word-ops: {} vs batch {} ({ratio:.3}x)\n",
         totals.word_ops, batch_total
+    );
+}
+
+/// Drives a live in-process analysis server with mixed multi-tenant
+/// traffic and exports the `srv.*` service counters:
+///
+/// * a clean tenant submits every corpus trace twice — the first pass
+///   measures `srv.traces_per_sec` (gauge) and every report is asserted
+///   equal to the direct [`AnalysisBuilder`] reference, the second pass
+///   must be answered entirely from the content-addressed cache;
+/// * a corrupt tenant submits garbage (an `Invalid` report) and an
+///   oversized blob (rejected before any worker sees it);
+/// * a greedy tenant blows a one-op job budget (`srv.budget_exhausted`);
+/// * a hostile tenant's jobs panic via the fault hook and are quarantined
+///   (`srv.quarantined`) without disturbing anyone else.
+///
+/// Only the `srv.*` counters cross into the bench registry: the server's
+/// per-tenant `hb.*` counters stay out, so the corpus word-ops budget
+/// below keeps gating exactly the direct analyses. The cache contract is
+/// instead asserted through the server's own status: after both passes the
+/// clean tenant's cumulative `hb.word_ops` equals one batch pass over the
+/// corpus — the cache hits did zero analysis work.
+fn export_server_counters(
+    names: &[&'static str],
+    traces: &[Trace],
+    reference: &[Analysis],
+    registry: &mut MetricsRegistry,
+) {
+    let config = ServerConfig {
+        shards: 2,
+        fault_hook: Some(std::sync::Arc::new(|phase: &str| {
+            if phase == "job.hostile" {
+                panic!("bench-injected fault");
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", config).expect("bind bench server");
+    let addr = server.local_addr().expect("tcp addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let texts: Vec<String> = traces.iter().map(to_text).collect();
+    let spec = JobSpec::default();
+    let expected: Vec<JobReport> = reference
+        .iter()
+        .map(|a| JobReport::from_analysis(a, Vec::new()))
+        .collect();
+
+    // Pass 1 (clean tenant): every served report equals the direct one.
+    let mut clean = Client::connect_tcp(&addr, "clean").expect("connect");
+    let start = Instant::now();
+    for ((name, text), want) in names.iter().zip(&texts).zip(&expected) {
+        let sub = clean.submit_trace(&spec, text).expect("submit");
+        assert!(!sub.cache_hit(), "{name}: cache hit on first submission");
+        assert_eq!(sub.report(), Some(want), "{name}: served report diverged");
+    }
+    let first_pass = start.elapsed().as_secs_f64();
+
+    // Hostile traffic between the two clean passes.
+    let mut corrupt = Client::connect_tcp(&addr, "corrupt").expect("connect");
+    let sub = corrupt.submit_trace(&spec, "not a trace\n").expect("submit");
+    assert_eq!(
+        sub.report().expect("ran").exit,
+        ExitClass::Invalid,
+        "garbage must classify as Invalid"
+    );
+    let oversized = "x".repeat(9 << 20);
+    let sub = corrupt.submit_trace(&spec, &oversized).expect("submit");
+    assert!(
+        matches!(sub, Submission::Rejected { .. }),
+        "oversized trace must be rejected"
+    );
+    let mut greedy = Client::connect_tcp(&addr, "greedy").expect("connect");
+    let tiny = JobSpec {
+        max_ops: Some(1),
+        ..JobSpec::default()
+    };
+    let sub = greedy.submit_trace(&tiny, &texts[0]).expect("submit");
+    assert_eq!(
+        sub.report().expect("ran").exit,
+        ExitClass::Resource,
+        "one-op budget must exhaust"
+    );
+    let mut hostile = Client::connect_tcp(&addr, "hostile").expect("connect");
+    // A spec the clean pass never used: the content-addressed cache is
+    // shared across tenants, so the same spec + bytes would be answered
+    // from cache without ever reaching the fault hook.
+    let uncached = JobSpec {
+        validate: true,
+        ..JobSpec::default()
+    };
+    let sub = hostile.submit_trace(&uncached, &texts[0]).expect("submit");
+    let report = sub.report().expect("quarantined report");
+    assert_eq!(report.exit, ExitClass::Resource);
+    assert!(
+        report.diagnostics.iter().any(|d| d.contains("quarantined")),
+        "panic-injected job must be quarantined: {:?}",
+        report.diagnostics
+    );
+
+    // Pass 2 (clean tenant): all cache hits, bit-identical reports.
+    for ((name, text), want) in names.iter().zip(&texts).zip(&expected) {
+        let sub = clean.submit_trace(&spec, text).expect("submit");
+        assert!(sub.cache_hit(), "{name}: second submission missed the cache");
+        assert_eq!(sub.report(), Some(want), "{name}: cached report diverged");
+    }
+
+    let status = clean.status().expect("status");
+    clean.shutdown().expect("shutdown");
+    drop((clean, corrupt, greedy, hostile));
+    handle.join().expect("join").expect("server run failed");
+
+    let batch_word_ops: u64 = reference.iter().map(|a| a.hb().stats().word_ops).sum();
+    assert_eq!(
+        status_counter(&status, "tenant.clean.hb.word_ops"),
+        Some(batch_word_ops),
+        "cache hits must do zero analysis work"
+    );
+    for key in [
+        "srv.jobs",
+        "srv.cache_hits",
+        "srv.cache_stores",
+        "srv.quarantined",
+        "srv.budget_exhausted",
+        "srv.invalid",
+        "srv.rejected",
+    ] {
+        registry.counter_add(key, status_counter(&status, key).unwrap_or(0));
+    }
+    registry.gauge_set("srv.traces_per_sec", traces.len() as f64 / first_pass);
+    assert_eq!(
+        registry.counter("srv.cache_hits"),
+        Some(traces.len() as u64),
+        "second clean pass must be all cache hits"
+    );
+    assert_eq!(registry.counter("srv.quarantined"), Some(1));
+    assert_eq!(registry.counter("srv.budget_exhausted"), Some(1));
+    assert_eq!(registry.counter("srv.invalid"), Some(1));
+    println!(
+        "server sweep OK: {} traces served at {:.2} traces/sec, {} cache hits, \
+         1 invalid, 1 rejected, 1 budget-exhausted, 1 quarantined\n",
+        traces.len(),
+        traces.len() as f64 / first_pass,
+        traces.len(),
     );
 }
 

@@ -69,6 +69,7 @@ mod race;
 mod report;
 mod robust;
 mod rules;
+mod service;
 mod session;
 pub mod simd;
 mod stream;
@@ -81,12 +82,15 @@ pub use engine::{EngineStats, HappensBefore};
 pub use graph::{DirectEdges, HbGraph, Node, NodeId};
 pub use par::{
     analyze_all, analyze_all_profiled, analyze_all_with, default_threads, effective_workers,
-    par_map, par_map_profiled, par_try_map, ItemError, SPAWN_MIN_ITEMS,
+    par_map, par_map_profiled, par_try_map, run_isolated, ItemError, SPAWN_MIN_ITEMS,
 };
 pub use race::{detect, find_races, Race, RaceKind};
 pub use report::{Analysis, AnalysisTiming, CategoryCounts, ClassifiedRace};
 pub use robust::{Budget, BudgetExhausted, BudgetReason, Quarantined, QuarantineCause};
 pub use rules::{HbConfig, HbMode, RuleSet};
+pub use service::{
+    AnalysisService, ExitClass, JobReport, JobSpec, JobStats, LocalService, ReportedRace,
+};
 pub use session::{AnalysisBuilder, AnalysisError, FaultHook, StreamReport, StreamingSession};
 pub use stream::{
     RaceEvent, StreamEvent, StreamOptions, StreamOutcome, StreamStats, StreamingAnalysis,

@@ -154,6 +154,20 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Runs `f` inside the quarantine boundary used by [`par_try_map`]: a
+/// typed error becomes [`ItemError::Err`], a panic is caught and becomes
+/// [`ItemError::Panic`] with the rendered message, and the calling thread
+/// survives either way. This is the single-job form of the fan-out
+/// isolation — servers use it to wrap one analysis job per worker without
+/// going through a batch.
+pub fn run_isolated<R, E>(f: impl FnOnce() -> Result<R, E>) -> Result<R, ItemError<E>> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(ItemError::Err(e)),
+        Err(payload) => Err(ItemError::Panic(panic_message(payload))),
+    }
+}
+
 /// Fault-isolated [`par_map`]: applies the fallible `f` to every item,
 /// catching panics per item, and returns one `Result` per input in input
 /// order.
@@ -177,13 +191,7 @@ where
     E: Send,
     F: Fn(&T) -> Result<R, E> + Sync,
 {
-    let isolated = |item: &T| -> Result<R, ItemError<E>> {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
-            Ok(Ok(r)) => Ok(r),
-            Ok(Err(e)) => Err(ItemError::Err(e)),
-            Err(payload) => Err(ItemError::Panic(panic_message(payload))),
-        }
-    };
+    let isolated = |item: &T| -> Result<R, ItemError<E>> { run_isolated(|| f(item)) };
     let workers = effective_workers(items.len(), threads);
     if workers == 1 {
         return items.iter().map(isolated).collect();

@@ -2,7 +2,8 @@
 //! Table 3-style reporting.
 //!
 //! Sessions are started through [`AnalysisBuilder`](crate::AnalysisBuilder);
-//! the legacy `Analysis::run*` constructors remain as deprecated shims.
+//! for the service-shaped result (uniform across batch and streaming, with
+//! a stable wire/cache encoding) see [`JobReport`](crate::JobReport).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -15,8 +16,6 @@ use crate::classify::RaceCategory;
 use crate::coverage::CoverageReport;
 use crate::engine::HappensBefore;
 use crate::race::Race;
-use crate::rules::{HbConfig, HbMode};
-use crate::session::AnalysisBuilder;
 
 /// Wall-clock time spent in each stage of one [`Analysis`] run.
 ///
@@ -108,40 +107,6 @@ pub struct Analysis {
 }
 
 impl Analysis {
-    /// Analyzes `trace` with the paper's full configuration.
-    #[deprecated(since = "0.1.0", note = "use `AnalysisBuilder::new().analyze(trace)`")]
-    pub fn run(trace: &Trace) -> Self {
-        AnalysisBuilder::new()
-            .analyze(trace)
-            .expect("infallible without validation")
-    }
-
-    /// Analyzes `trace` under a baseline mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `AnalysisBuilder::new().mode(mode).analyze(trace)`"
-    )]
-    pub fn run_mode(trace: &Trace, mode: HbMode) -> Self {
-        AnalysisBuilder::new()
-            .mode(mode)
-            .analyze(trace)
-            .expect("infallible without validation")
-    }
-
-    /// Analyzes `trace` with an explicit configuration. Cancelled posts are
-    /// stripped first (§4.2); the race indices refer to the stripped trace,
-    /// available as [`Analysis::trace`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `AnalysisBuilder::new().config(config).analyze(trace)`"
-    )]
-    pub fn run_with(trace: &Trace, config: HbConfig) -> Self {
-        AnalysisBuilder::new()
-            .config(config)
-            .analyze(trace)
-            .expect("infallible without validation")
-    }
-
     /// Assembles a result from the pipeline stages (used by the builder;
     /// spans default to an empty placeholder until the session closes).
     pub(crate) fn assemble(
@@ -362,6 +327,8 @@ impl fmt::Display for CategoryCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::HbMode;
+    use crate::session::AnalysisBuilder;
     use droidracer_trace::{ThreadKind, TraceBuilder};
 
     fn racy_trace() -> Trace {
@@ -459,23 +426,6 @@ mod tests {
             // "race") — either way analysis must not crash.
             let _ = analysis.counts();
         }
-    }
-
-    #[test]
-    fn deprecated_shims_match_builder() {
-        let trace = racy_trace();
-        let via_builder = analyze(&trace);
-        #[allow(deprecated)]
-        let via_shim = Analysis::run(&trace);
-        assert_eq!(via_builder.races(), via_shim.races());
-        assert_eq!(via_builder.hb().stats(), via_shim.hb().stats());
-        #[allow(deprecated)]
-        let via_mode = Analysis::run_mode(&trace, HbMode::MultithreadedOnly);
-        let via_builder_mode = AnalysisBuilder::new()
-            .mode(HbMode::MultithreadedOnly)
-            .analyze(&trace)
-            .expect("runs");
-        assert_eq!(via_mode.races(), via_builder_mode.races());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The analysis session API: [`AnalysisBuilder`] and [`AnalysisError`].
 //!
 //! Historically the pipeline was driven through a knob soup of free
-//! constructors (`Analysis::run`, `Analysis::run_mode`, `Analysis::run_with`
-//! plus an `HbConfig` with a merge flag). The builder replaces them with a
+//! constructors (an `Analysis::run`/`run_mode`/`run_with` family, since
+//! removed, plus an `HbConfig` with a merge flag). The builder replaces them with a
 //! single entry point that owns every toggle — relation preset, individual
 //! rules, node merging, optional semantics validation, race coverage and
 //! race explanations — and the observability wiring: every session records
@@ -156,8 +156,7 @@ impl AnalysisBuilder {
 
     /// Runs the Figure 5 semantics checker before analyzing; an invalid
     /// trace fails the session with [`AnalysisError::Validate`] instead of
-    /// producing garbage orderings (default: off, matching the historical
-    /// `Analysis::run` behaviour).
+    /// producing garbage orderings (default: off).
     pub fn validate_first(mut self, validate: bool) -> Self {
         self.validate = validate;
         self

@@ -1,0 +1,217 @@
+//! A blocking client for the analysis daemon, usable anywhere an
+//! [`AnalysisService`] is expected.
+//!
+//! The client is deliberately thin: it frames requests, unframes
+//! responses, and converts between the wire's text encodings and the
+//! `core` types. One client owns one connection and one tenant identity;
+//! requests on it are strictly sequential (the protocol has no pipelining).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use droidracer_core::{AnalysisService, JobReport, JobSpec};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+trait Conn: Read + Write + Send {}
+impl Conn for TcpStream {}
+impl Conn for UnixStream {}
+
+/// A connected client bound to one tenant.
+pub struct Client {
+    conn: Box<dyn Conn>,
+    tenant: String,
+}
+
+/// The server answered a job request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// The job ran (or was answered from cache).
+    Done {
+        /// Whether the report came from the content-addressed cache.
+        cache_hit: bool,
+        /// The report.
+        report: JobReport,
+    },
+    /// The server refused the request before running it.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl Submission {
+    /// The report of a completed job, or `None` if rejected.
+    pub fn report(&self) -> Option<&JobReport> {
+        match self {
+            Submission::Done { report, .. } => Some(report),
+            Submission::Rejected { .. } => None,
+        }
+    }
+
+    /// Whether the submission was answered from the cache.
+    pub fn cache_hit(&self) -> bool {
+        matches!(self, Submission::Done { cache_hit: true, .. })
+    }
+}
+
+impl Client {
+    /// Connects over TCP, acting as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_tcp(addr: &str, tenant: impl Into<String>) -> io::Result<Client> {
+        Ok(Client {
+            conn: Box::new(TcpStream::connect(addr)?),
+            tenant: tenant.into(),
+        })
+    }
+
+    /// Connects over a Unix socket, acting as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_unix(path: &Path, tenant: impl Into<String>) -> io::Result<Client> {
+        Ok(Client {
+            conn: Box::new(UnixStream::connect(path)?),
+            tenant: tenant.into(),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.conn, &request.encode())?;
+        let payload = read_frame(&mut self.conn)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect_report(response: Response) -> io::Result<Submission> {
+        match response {
+            Response::Report { cache_hit, record } => {
+                let report = JobReport::from_record(&record).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad report record: {e}"))
+                })?;
+                Ok(Submission::Done { cache_hit, report })
+            }
+            Response::Rejected { reason } => Ok(Submission::Rejected { reason }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Submits one whole trace and waits for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; job-level failures come back inside
+    /// [`Submission`].
+    pub fn submit_trace(&mut self, spec: &JobSpec, trace_text: &str) -> io::Result<Submission> {
+        let response = self.roundtrip(&Request::Submit {
+            tenant: self.tenant.clone(),
+            spec: spec.to_token(),
+            trace: trace_text.as_bytes().to_vec(),
+        })?;
+        Self::expect_report(response)
+    }
+
+    /// Uploads a trace in `chunk_bytes`-sized wire chunks and has the
+    /// server run it through the *streaming* engine in `chunk_ops`-sized
+    /// op chunks.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn submit_stream(
+        &mut self,
+        spec: &JobSpec,
+        trace_text: &str,
+        chunk_bytes: usize,
+        chunk_ops: u32,
+    ) -> io::Result<Submission> {
+        let open = self.roundtrip(&Request::StreamOpen {
+            tenant: self.tenant.clone(),
+            spec: spec.to_token(),
+            chunk_ops,
+        })?;
+        match open {
+            Response::StreamAck { .. } => {}
+            Response::Rejected { reason } => return Ok(Submission::Rejected { reason }),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected response {other:?}"),
+                ))
+            }
+        }
+        for chunk in trace_text.as_bytes().chunks(chunk_bytes.max(1)) {
+            let ack = self.roundtrip(&Request::StreamChunk { data: chunk.to_vec() })?;
+            match ack {
+                Response::StreamAck { .. } => {}
+                Response::Rejected { reason } => return Ok(Submission::Rejected { reason }),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response {other:?}"),
+                    ))
+                }
+            }
+        }
+        let done = self.roundtrip(&Request::StreamFinish)?;
+        Self::expect_report(done)
+    }
+
+    /// Fetches the server's status snapshot (`key=value` lines; parse
+    /// individual counters with
+    /// [`status_counter`](crate::server::status_counter)).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn status(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?}"),
+            )),
+        }
+    }
+}
+
+impl AnalysisService for Client {
+    /// Remote submission. A server-side *rejection* (unknown tenant,
+    /// oversized trace) is surfaced as an `InvalidInput` transport error —
+    /// the job never ran, so there is no report to return; job-level
+    /// failures (bad trace, blown budget) arrive as ordinary reports.
+    fn submit(&mut self, spec: &JobSpec, trace_text: &str) -> io::Result<JobReport> {
+        match self.submit_trace(spec, trace_text)? {
+            Submission::Done { report, .. } => Ok(report),
+            Submission::Rejected { reason } => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("rejected by server: {reason}"),
+            )),
+        }
+    }
+}

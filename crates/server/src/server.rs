@@ -1,0 +1,647 @@
+//! The sharded multi-tenant analysis daemon.
+//!
+//! One acceptor thread owns the listening socket; each connection gets its
+//! own handler thread speaking the framed [`protocol`](crate::protocol).
+//! Analysis work never runs on a connection thread: jobs are routed to one
+//! of N *shard* workers by a stable hash of the tenant name, so one
+//! abusive tenant can back up only its own shard's queue while sibling
+//! tenants' jobs flow through the other shards untouched.
+//!
+//! Isolation is layered per job, reusing the batch pipeline's primitives:
+//!
+//! * every job runs inside [`droidracer_core::run_isolated`] — a panicking
+//!   worker is quarantined into a `Resource` report and the shard thread
+//!   survives;
+//! * every job's spec is clamped to the server's per-job [`Budget`] caps
+//!   and to the tenant's remaining cumulative word-ops quota, so runaway
+//!   inputs hit a typed `Resource` cutoff;
+//! * results of completed batch jobs land in the content-addressed
+//!   [`ResultStore`], keyed by spec token + trace bytes — a resubmission
+//!   is answered from the cache with zero recomputation (the tenant's
+//!   `hb.word_ops` counter does not move).
+//!
+//! Accounting is per tenant through `droidracer-obs` registries: each
+//! executed job's deterministic counters (`hb.word_ops`, `trace.ops`,
+//! representative race counts) are absorbed into the owning tenant's
+//! registry, and the `srv.*` service counters are kept both globally and
+//! per tenant. [`Request::Status`] renders the whole picture as
+//! `key=value` lines.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use droidracer_core::{
+    run_isolated, AnalysisService, ExitClass, FaultHook, ItemError, JobReport, JobSpec,
+    LocalService,
+};
+use droidracer_obs::{MetricsRegistry, MetricValue, Recorder};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::store::{job_key, ResultStore};
+
+/// Server tuning knobs. `Default` is permissive: any tenant, 2 shards,
+/// 8 MiB traces, no budgets, no cache persistence.
+#[derive(Clone, Default)]
+pub struct ServerConfig {
+    /// Number of shard worker threads (clamped to ≥ 1).
+    pub shards: usize,
+    /// Tenant allowlist; `None` admits any tenant name.
+    pub allowed_tenants: Option<Vec<String>>,
+    /// Largest accepted trace upload in bytes (0 = default 8 MiB).
+    pub max_trace_bytes: usize,
+    /// Per-job cap on happens-before word-ops, applied on top of (i.e.
+    /// `min` with) whatever the job's own spec asks for.
+    pub max_job_ops: Option<u64>,
+    /// Per-job cap on relation-matrix bits, applied the same way.
+    pub max_job_matrix_bits: Option<u64>,
+    /// Cumulative word-ops quota per tenant; once a tenant has spent it,
+    /// further jobs are refused with a `Resource` report.
+    pub tenant_quota_ops: Option<u64>,
+    /// Persist the result cache here on shutdown (and preload on start).
+    pub cache_path: Option<PathBuf>,
+    /// Fault-injection hook, invoked as `job.<tenant>` on each job inside
+    /// the quarantine boundary. Test/bench only — never reachable from the
+    /// wire.
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl ServerConfig {
+    fn shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    fn max_trace_bytes(&self) -> usize {
+        if self.max_trace_bytes == 0 {
+            8 << 20
+        } else {
+            self.max_trace_bytes
+        }
+    }
+}
+
+/// Per-tenant accounting: cumulative word-ops spent and the tenant's
+/// metrics registry.
+#[derive(Default)]
+struct TenantState {
+    used_ops: u64,
+    metrics: MetricsRegistry,
+}
+
+/// State shared by the acceptor, connection handlers and shard workers.
+struct Shared {
+    config: ServerConfig,
+    cache: Mutex<ResultStore>,
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+    metrics: Mutex<MetricsRegistry>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn bump(&self, key: &str) {
+        self.metrics.lock().unwrap().counter_add(key, 1);
+    }
+
+    fn bump_tenant(&self, tenant: &str, key: &str, delta: u64) {
+        let mut tenants = self.tenants.lock().unwrap();
+        tenants
+            .entry(tenant.to_owned())
+            .or_default()
+            .metrics
+            .counter_add(key, delta);
+    }
+
+    /// Renders the status snapshot: global `srv.*` counters first, then
+    /// `tenant.<name>.<counter>` lines, all sorted (BTreeMap order).
+    fn render_status(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.metrics.lock().unwrap().iter() {
+            if let MetricValue::Counter(v) = value {
+                out.push_str(&format!("{name}={v}\n"));
+            }
+        }
+        for (tenant, state) in self.tenants.lock().unwrap().iter() {
+            out.push_str(&format!("tenant.{tenant}.used_ops={}\n", state.used_ops));
+            for (name, value) in state.metrics.iter() {
+                if let MetricValue::Counter(v) = value {
+                    out.push_str(&format!("tenant.{tenant}.{name}={v}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One unit of shard work.
+struct Job {
+    tenant: String,
+    spec: JobSpec,
+    trace_text: String,
+    /// `Some(chunk_ops)` drives the streaming engine (stream uploads);
+    /// `None` is a whole-trace batch job.
+    stream_chunk_ops: Option<usize>,
+    reply: mpsc::Sender<JobReport>,
+}
+
+/// Executes one job on a shard worker: quota gate, budget clamp,
+/// quarantined run, per-tenant accounting.
+fn execute_job(shared: &Shared, job: Job) {
+    let mut spec = job.spec;
+    // Quota gate + per-job clamps. The tenant's remaining quota caps the
+    // job's op budget, so a tenant can never spend past its quota even
+    // in one giant job.
+    let remaining = {
+        let mut tenants = shared.tenants.lock().unwrap();
+        let state = tenants.entry(job.tenant.clone()).or_default();
+        shared
+            .config
+            .tenant_quota_ops
+            .map(|quota| quota.saturating_sub(state.used_ops))
+    };
+    if remaining == Some(0) {
+        shared.bump("srv.budget_exhausted");
+        shared.bump_tenant(&job.tenant, "srv.budget_exhausted", 1);
+        let _ = job.reply.send(JobReport::aborted(
+            ExitClass::Resource,
+            format!("tenant `{}` word-ops quota exhausted", job.tenant),
+        ));
+        return;
+    }
+    for cap in [shared.config.max_job_ops, remaining].into_iter().flatten() {
+        spec.max_ops = Some(spec.max_ops.map_or(cap, |own| own.min(cap)));
+    }
+    if let Some(cap) = shared.config.max_job_matrix_bits {
+        spec.max_matrix_bits = Some(spec.max_matrix_bits.map_or(cap, |own| own.min(cap)));
+    }
+
+    // The quarantine boundary: fault hook + analysis. A panic anywhere in
+    // here becomes a Resource report; the shard thread survives.
+    let hook = shared.config.fault_hook.clone();
+    let tenant = job.tenant.clone();
+    let mut rec = Recorder::new();
+    rec.start("job");
+    let outcome = run_isolated(move || -> Result<JobReport, io::Error> {
+        if let Some(hook) = hook {
+            hook(&format!("job.{tenant}"));
+        }
+        match job.stream_chunk_ops {
+            Some(chunk_ops) => {
+                Ok(LocalService::new().submit_streaming(&spec, &job.trace_text, chunk_ops))
+            }
+            None => LocalService::new().submit(&spec, &job.trace_text),
+        }
+    });
+    rec.end();
+    let spans = rec.finish();
+    let mut quarantined = false;
+    let report = match outcome {
+        Ok(report) => report,
+        Err(ItemError::Err(e)) => JobReport::aborted(ExitClass::Invalid, e.to_string()),
+        Err(ItemError::Panic(msg)) => {
+            quarantined = true;
+            shared.bump("srv.quarantined");
+            shared.bump_tenant(&job.tenant, "srv.quarantined", 1);
+            JobReport::aborted(ExitClass::Resource, format!("worker quarantined: {msg}"))
+        }
+    };
+
+    // Per-tenant accounting of the deterministic counters actually spent.
+    {
+        let mut tenants = shared.tenants.lock().unwrap();
+        let state = tenants.entry(job.tenant.clone()).or_default();
+        state.used_ops += report.stats.word_ops;
+        state.metrics.counter_add("hb.word_ops", report.stats.word_ops);
+        state.metrics.counter_add("trace.ops", report.stats.ops);
+        state
+            .metrics
+            .counter_add("races.representatives", report.counts.total() as u64);
+        state.metrics.counter_add("srv.jobs", 1);
+        state.metrics.counter_add("srv.job_spans", spans.len() as u64);
+    }
+    shared.bump("srv.jobs");
+    if report.exit == ExitClass::Resource && !quarantined {
+        shared.bump("srv.budget_exhausted");
+        shared.bump_tenant(&job.tenant, "srv.budget_exhausted", 1);
+    }
+    if report.exit == ExitClass::Invalid {
+        shared.bump("srv.invalid");
+    }
+    let _ = job.reply.send(report);
+}
+
+/// The shard a tenant's jobs are routed to: a stable hash of the tenant
+/// name modulo the shard count.
+fn shard_of(tenant: &str, shards: usize) -> usize {
+    (job_key("tenant-shard", tenant.as_bytes()) % shards as u64) as usize
+}
+
+/// Anything a connection can read and write frames on.
+trait Conn: Read + Write + Send {}
+impl Conn for TcpStream {}
+impl Conn for UnixStream {}
+
+/// Connection-local state of an open streaming upload.
+struct OpenStream {
+    tenant: String,
+    spec: JobSpec,
+    chunk_ops: usize,
+    buf: Vec<u8>,
+}
+
+/// Handles one client connection until EOF or shutdown.
+fn handle_conn(
+    shared: &Shared,
+    shard_txs: &[mpsc::Sender<Job>],
+    wake: &dyn Fn(),
+    mut conn: Box<dyn Conn>,
+) {
+    let mut open_stream: Option<OpenStream> = None;
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(_) => return, // torn frame / disconnect: drop the connection
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // Typed decode errors are answered, not fatal: the framing
+                // is intact, so the conversation can continue.
+                let resp = Response::Rejected {
+                    reason: format!("bad request: {e}"),
+                };
+                shared.bump("srv.rejected");
+                if write_frame(&mut conn, &resp.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Submit { tenant, spec, trace } => {
+                submit_response(shared, shard_txs, tenant, &spec, trace, None)
+            }
+            Request::StreamOpen { tenant, spec, chunk_ops } => {
+                match admit(shared, &tenant).and_then(|()| parse_spec(&spec)) {
+                    Err(reason) => {
+                        shared.bump("srv.rejected");
+                        Response::Rejected { reason }
+                    }
+                    Ok(spec) => {
+                        open_stream = Some(OpenStream {
+                            tenant,
+                            spec,
+                            chunk_ops: chunk_ops.max(1) as usize,
+                            buf: Vec::new(),
+                        });
+                        Response::StreamAck { buffered: 0 }
+                    }
+                }
+            }
+            Request::StreamChunk { data } => match open_stream.as_mut() {
+                None => {
+                    shared.bump("srv.rejected");
+                    Response::Rejected {
+                        reason: "no open stream".to_owned(),
+                    }
+                }
+                Some(stream) => {
+                    if stream.buf.len() + data.len() > shared.config.max_trace_bytes() {
+                        let tenant = stream.tenant.clone();
+                        open_stream = None;
+                        shared.bump("srv.rejected");
+                        Response::Rejected {
+                            reason: format!(
+                                "stream for tenant `{tenant}` exceeds {} bytes",
+                                shared.config.max_trace_bytes()
+                            ),
+                        }
+                    } else {
+                        stream.buf.extend_from_slice(&data);
+                        Response::StreamAck {
+                            buffered: stream.buf.len() as u64,
+                        }
+                    }
+                }
+            },
+            Request::StreamFinish => match open_stream.take() {
+                None => {
+                    shared.bump("srv.rejected");
+                    Response::Rejected {
+                        reason: "no open stream".to_owned(),
+                    }
+                }
+                Some(stream) => {
+                    shared.bump("srv.streamed");
+                    submit_response(
+                        shared,
+                        shard_txs,
+                        stream.tenant,
+                        &stream.spec.to_token(),
+                        stream.buf,
+                        Some(stream.chunk_ops),
+                    )
+                }
+            },
+            Request::Status => Response::Status {
+                text: shared.render_status(),
+            },
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut conn, &Response::Bye.encode());
+                wake();
+                return;
+            }
+        };
+        if write_frame(&mut conn, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission checks shared by batch and stream jobs.
+fn admit(shared: &Shared, tenant: &str) -> Result<(), String> {
+    if tenant.is_empty() {
+        return Err("empty tenant name".to_owned());
+    }
+    if let Some(allowed) = &shared.config.allowed_tenants {
+        if !allowed.iter().any(|t| t == tenant) {
+            return Err(format!("unknown tenant `{tenant}`"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_spec(token: &str) -> Result<JobSpec, String> {
+    JobSpec::from_token(token).map_err(|e| format!("bad job spec: {e}"))
+}
+
+/// Full submit path: admission → cache → shard dispatch → cache fill.
+fn submit_response(
+    shared: &Shared,
+    shard_txs: &[mpsc::Sender<Job>],
+    tenant: String,
+    spec_token: &str,
+    trace: Vec<u8>,
+    stream_chunk_ops: Option<usize>,
+) -> Response {
+    let admitted = admit(shared, &tenant)
+        .and_then(|()| parse_spec(spec_token))
+        .and_then(|spec| {
+            if trace.len() > shared.config.max_trace_bytes() {
+                return Err(format!(
+                    "trace of {} bytes exceeds limit {}",
+                    trace.len(),
+                    shared.config.max_trace_bytes()
+                ));
+            }
+            String::from_utf8(trace)
+                .map(|text| (spec, text))
+                .map_err(|_| "trace is not valid UTF-8".to_owned())
+        });
+    let (spec, text) = match admitted {
+        Ok(parsed) => parsed,
+        Err(reason) => {
+            shared.bump("srv.rejected");
+            return Response::Rejected { reason };
+        }
+    };
+
+    // Content-addressed cache — batch jobs only (a streamed job's stats
+    // legitimately differ from the batch stats for the same bytes, so the
+    // two must not share a key; streams are rare enough not to cache).
+    let key = job_key(spec_token, text.as_bytes());
+    if stream_chunk_ops.is_none() {
+        if let Some(report) = shared.cache.lock().unwrap().get(key) {
+            shared.bump("srv.cache_hits");
+            shared.bump_tenant(&tenant, "srv.cache_hits", 1);
+            return Response::Report {
+                cache_hit: true,
+                record: report.to_record(),
+            };
+        }
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let shard = shard_of(&tenant, shard_txs.len());
+    let job = Job {
+        tenant: tenant.clone(),
+        spec,
+        trace_text: text,
+        stream_chunk_ops,
+        reply: reply_tx,
+    };
+    if shard_txs[shard].send(job).is_err() {
+        return Response::Rejected {
+            reason: "server is shutting down".to_owned(),
+        };
+    }
+    let report = match reply_rx.recv() {
+        Ok(report) => report,
+        Err(_) => {
+            return Response::Rejected {
+                reason: "shard worker lost".to_owned(),
+            }
+        }
+    };
+    // Cache completed batch analyses. Resource reports depend on quota
+    // state at execution time, so they are not memoizable.
+    if stream_chunk_ops.is_none() && report.exit != ExitClass::Resource {
+        shared.cache.lock().unwrap().insert(key, report.clone());
+        shared.bump("srv.cache_stores");
+    }
+    Response::Report {
+        cache_hit: false,
+        record: report.to_record(),
+    }
+}
+
+/// The listening socket, TCP or Unix.
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// A bound (but not yet running) analysis server.
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds a TCP listener (`127.0.0.1:0` picks an ephemeral port —
+    /// read it back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_tcp(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: Listener::Tcp(TcpListener::bind(addr)?),
+            shared: Arc::new(Shared::new(config)),
+        })
+    }
+
+    /// Binds a Unix-domain listener at `path` (removing a stale socket
+    /// file first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_unix(path: &Path, config: ServerConfig) -> io::Result<Server> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Server {
+            listener: Listener::Unix(UnixListener::bind(path)?, path.to_owned()),
+            shared: Arc::new(Shared::new(config)),
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix sockets).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(..) => None,
+        }
+    }
+
+    /// Serves until a [`Request::Shutdown`] arrives, then persists the
+    /// result cache (if configured) and returns. Preloads the cache first;
+    /// corrupt cache lines are skipped (counted under
+    /// `srv.cache_load_skipped`) and healed by the shutdown save.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection errors drop that
+    /// connection.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        if let Some(path) = &shared.config.cache_path {
+            let (cache, diags) = ResultStore::load(path)?;
+            let mut metrics = shared.metrics.lock().unwrap();
+            metrics.counter_add("srv.cache_load_skipped", diags.len() as u64);
+            metrics.counter_add("srv.cache_preloaded", cache.len() as u64);
+            drop(metrics);
+            *shared.cache.lock().unwrap() = cache;
+        }
+        let shards = shared.config.shards();
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let wake: Arc<dyn Fn() + Send + Sync> = match &self.listener {
+            Listener::Tcp(l) => {
+                let addr = l.local_addr()?;
+                Arc::new(move || {
+                    let _ = TcpStream::connect(addr);
+                })
+            }
+            Listener::Unix(_, path) => {
+                let path = path.clone();
+                Arc::new(move || {
+                    let _ = UnixStream::connect(&path);
+                })
+            }
+        };
+
+        let mut workers = Vec::with_capacity(shards);
+        for rx in shard_rxs {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || {
+                for job in rx {
+                    execute_job(&shared, job);
+                }
+            }));
+        }
+        loop {
+            let conn: Box<dyn Conn> = match &self.listener {
+                Listener::Tcp(l) => Box::new(l.accept()?.0),
+                Listener::Unix(l, _) => Box::new(l.accept()?.0),
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = Arc::clone(&shared);
+            let txs = shard_txs.clone();
+            let wake = Arc::clone(&wake);
+            std::thread::spawn(move || handle_conn(&shared, &txs, &*wake, conn));
+        }
+        // Dropping our senders ends the shard workers once every
+        // connection's clone is gone and the queues drain; joining the
+        // workers makes the final cache save see every completed job.
+        drop(shard_txs);
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(path) = &shared.config.cache_path {
+            shared.cache.lock().unwrap().save(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Shared {
+    fn new(config: ServerConfig) -> Self {
+        Shared {
+            config,
+            cache: Mutex::new(ResultStore::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Parses one counter out of a [`Request::Status`] snapshot.
+pub fn status_counter(status_text: &str, key: &str) -> Option<u64> {
+    status_text.lines().find_map(|line| {
+        let (k, v) = line.split_once('=')?;
+        if k == key {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1, 2, 7] {
+            for tenant in ["alice", "bob", "mallory", ""] {
+                let s = shard_of(tenant, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(tenant, shards), "stable");
+            }
+        }
+        // Distinct tenants can land on distinct shards (sanity, not proof).
+        let hits: std::collections::HashSet<usize> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|t| shard_of(t, 4))
+            .collect();
+        assert!(hits.len() > 1, "all tenants on one shard of 4");
+    }
+
+    #[test]
+    fn status_counter_parses_lines() {
+        let text = "srv.jobs=3\ntenant.alice.hb.word_ops=120\nnoise\n";
+        assert_eq!(status_counter(text, "srv.jobs"), Some(3));
+        assert_eq!(status_counter(text, "tenant.alice.hb.word_ops"), Some(120));
+        assert_eq!(status_counter(text, "missing"), None);
+    }
+}

@@ -1,0 +1,295 @@
+//! The content-addressed result cache: [`ResultStore`].
+//!
+//! Generalizes the text-persistence idiom of `explorer::db::ReplayDb` —
+//! a one-line header, one entry per line, corrupt lines *skipped with a
+//! diagnostic* instead of failing the load, and self-healing on save
+//! (rewriting drops every corrupt line) — from replay verdicts to analysis
+//! results. An entry maps a 64-bit content digest (spec token + trace
+//! bytes, see [`job_key`]) to a `JobReport` record; equal digests mean
+//! equal work, so a hit returns the stored report with zero recomputation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use droidracer_core::JobReport;
+
+/// Header line of the on-disk format; bump the version when the record
+/// encoding changes incompatibly (old caches then reload as empty, which
+/// is always safe — the cache is a pure memo).
+const STORE_HEADER: &str = "droidracer-resultstore v1";
+
+/// 64-bit FNV-1a over an arbitrary byte stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The cache key of one job: a digest over the spec token, a separator,
+/// and the raw trace bytes. The separator keeps `("ab", "c")` and
+/// `("a", "bc")` from colliding trivially.
+pub fn job_key(spec_token: &str, trace_bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(spec_token.as_bytes());
+    h.update(&[0]);
+    h.update(trace_bytes);
+    h.finish()
+}
+
+/// One problem found while loading a persisted store. Loading never fails
+/// for content reasons: every malformed line becomes a diagnostic and is
+/// dropped, and the next [`ResultStore::save`] heals the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDiagnostic {
+    /// 1-based line number in the loaded file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for StoreDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// An in-memory content-addressed map from job digest to [`JobReport`],
+/// with optional text persistence. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct ResultStore {
+    entries: BTreeMap<u64, JobReport>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a report by digest.
+    pub fn get(&self, key: u64) -> Option<&JobReport> {
+        self.entries.get(&key)
+    }
+
+    /// Stores `report` under `key`, replacing any previous entry.
+    pub fn insert(&mut self, key: u64, report: JobReport) {
+        self.entries.insert(key, report);
+    }
+
+    /// Serializes the store: header line, then one `<hex digest> <record>`
+    /// line per entry in digest order (deterministic output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.entries.len() + 1));
+        out.push_str(STORE_HEADER);
+        out.push('\n');
+        for (key, report) in &self.entries {
+            out.push_str(&format!("{key:016x} {}\n", report.to_record()));
+        }
+        out
+    }
+
+    /// Parses a serialized store. A wrong or missing header yields an empty
+    /// store (plus a diagnostic); every malformed entry line is skipped
+    /// with a diagnostic. Content problems are never an `Err` — the cache
+    /// is a memo, and dropping entries only costs recomputation.
+    pub fn from_text(text: &str) -> (Self, Vec<StoreDiagnostic>) {
+        let mut store = ResultStore::new();
+        let mut diags = Vec::new();
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header == STORE_HEADER => {}
+            Some((_, header)) => {
+                diags.push(StoreDiagnostic {
+                    line: 1,
+                    message: format!("unrecognized header `{header}`; ignoring file"),
+                });
+                return (store, diags);
+            }
+            None => return (store, diags),
+        }
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some((key_hex, record)) = line.split_once(' ') else {
+                diags.push(StoreDiagnostic {
+                    line: lineno,
+                    message: "missing digest/record separator".to_owned(),
+                });
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(key_hex, 16) else {
+                diags.push(StoreDiagnostic {
+                    line: lineno,
+                    message: format!("bad digest `{key_hex}`"),
+                });
+                continue;
+            };
+            match JobReport::from_record(record) {
+                Ok(report) => {
+                    if store.entries.insert(key, report).is_some() {
+                        diags.push(StoreDiagnostic {
+                            line: lineno,
+                            message: format!("duplicate digest {key:016x}; kept the later entry"),
+                        });
+                    }
+                }
+                Err(e) => diags.push(StoreDiagnostic {
+                    line: lineno,
+                    message: format!("corrupt record: {e}"),
+                }),
+            }
+        }
+        (store, diags)
+    }
+
+    /// Loads a store from `path`. A missing file is an empty store (first
+    /// run); content corruption becomes diagnostics, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures (permissions, etc.).
+    pub fn load(path: &Path) -> io::Result<(Self, Vec<StoreDiagnostic>)> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Self::from_text(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok((Self::new(), Vec::new())),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the canonical serialization to `path`, healing any corrupt
+    /// lines the load skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droidracer_core::{ExitClass, JobReport};
+
+    fn sample_report(diag: &str) -> JobReport {
+        JobReport::aborted(ExitClass::Invalid, diag)
+    }
+
+    #[test]
+    fn digest_separates_spec_and_trace() {
+        assert_ne!(job_key("ab", b"c"), job_key("a", b"bc"));
+        assert_ne!(job_key("s", b"x"), job_key("s", b"y"));
+        assert_eq!(job_key("s", b"x"), job_key("s", b"x"));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut store = ResultStore::new();
+        store.insert(job_key("spec", b"one"), sample_report("first, with | specials"));
+        store.insert(job_key("spec", b"two"), sample_report("second"));
+        let text = store.to_text();
+        let (back, diags) = ResultStore::from_text(&text);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(back.len(), 2);
+        for (key, report) in &store.entries {
+            assert_eq!(back.get(*key), Some(report));
+        }
+        // Deterministic serialization: re-serializing is a fixed point.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_and_healed() {
+        let mut store = ResultStore::new();
+        store.insert(1, sample_report("keep me"));
+        store.insert(2, sample_report("and me"));
+        let mut text = store.to_text();
+        text.push_str("zzzz not-a-digest\n");
+        text.push_str("00000000000000ff exit=clean counts=bogus\n");
+        text.push_str("missingseparator\n");
+        let (loaded, diags) = ResultStore::from_text(&text);
+        assert_eq!(loaded.len(), 2, "good entries survive");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.line > 1));
+        // Healing: the rewrite contains only the good entries.
+        let healed = loaded.to_text();
+        assert_eq!(ResultStore::from_text(&healed).1, Vec::new());
+        assert_eq!(healed.lines().count(), 3, "header + 2 entries");
+    }
+
+    #[test]
+    fn wrong_header_loads_empty_with_diagnostic() {
+        let (store, diags) = ResultStore::from_text("replaydb v9\nwhatever\n");
+        assert!(store.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unrecognized header"));
+        let (store, diags) = ResultStore::from_text("");
+        assert!(store.is_empty() && diags.is_empty());
+    }
+
+    #[test]
+    fn load_and_save_heal_on_disk() {
+        let dir = std::env::temp_dir().join(format!("resultstore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        // Missing file: empty store, no diagnostics.
+        let (empty, diags) = ResultStore::load(&path).unwrap();
+        assert!(empty.is_empty() && diags.is_empty());
+        // Save entries plus inject corruption; reload skips, save heals.
+        let mut store = ResultStore::new();
+        store.insert(42, sample_report("persisted"));
+        store.save(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("garbage line\n");
+        std::fs::write(&path, &text).unwrap();
+        let (loaded, diags) = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(diags.len(), 1);
+        loaded.save(&path).unwrap();
+        let (healed, diags) = ResultStore::load(&path).unwrap();
+        assert_eq!(healed.len(), 1);
+        assert!(diags.is_empty(), "save healed the file: {diags:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,279 @@
+//! Live end-to-end tests: a real server on an ephemeral TCP port (and a
+//! Unix socket), real clients over the framed protocol.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use droidracer_core::{AnalysisService, ExitClass, JobSpec, LocalService};
+use droidracer_server::{status_counter, Client, Server, ServerConfig, Submission};
+use droidracer_trace::{to_text, ThreadKind, TraceBuilder};
+
+/// A small racy trace (one multithreaded race).
+fn racy_text() -> String {
+    let mut b = TraceBuilder::new();
+    let main = b.thread("main", ThreadKind::Main, true);
+    let bg = b.thread("bg", ThreadKind::App, false);
+    let loc = b.loc("obj", "C.state");
+    b.thread_init(main);
+    b.fork(main, bg);
+    b.thread_init(bg);
+    b.write(bg, loc);
+    b.read(main, loc);
+    to_text(&b.finish())
+}
+
+/// Starts a server on an ephemeral TCP port; returns its address and the
+/// join handle (joined after a clean shutdown).
+fn start_tcp(config: ServerConfig) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind_tcp("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("tcp addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn submit_twice_second_is_cache_hit() {
+    let (addr, server) = start_tcp(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr, "alice").expect("connect");
+    let spec = JobSpec::default();
+    let text = racy_text();
+
+    let first = client.submit_trace(&spec, &text).expect("submit");
+    assert!(!first.cache_hit());
+    let report = first.report().expect("completed").clone();
+    assert_eq!(report.exit, ExitClass::Races);
+
+    // Direct equality: the server's report is exactly the local one.
+    let local = LocalService::new().submit(&spec, &text).expect("local");
+    assert_eq!(report, local);
+
+    let second = client.submit_trace(&spec, &text).expect("submit");
+    assert!(second.cache_hit(), "second submission must hit the cache");
+    assert_eq!(second.report(), Some(&report), "cached report identical");
+
+    // The cache hit did zero analysis work: the tenant's word-ops counter
+    // did not move between the two submissions.
+    let status = client.status().expect("status");
+    assert_eq!(
+        status_counter(&status, "tenant.alice.hb.word_ops"),
+        Some(local.stats.word_ops),
+        "{status}"
+    );
+    assert_eq!(status_counter(&status, "srv.cache_hits"), Some(1), "{status}");
+    assert_eq!(status_counter(&status, "srv.jobs"), Some(1), "{status}");
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn distinct_specs_do_not_share_cache_entries() {
+    let (addr, server) = start_tcp(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr, "alice").expect("connect");
+    let text = racy_text();
+    let full = JobSpec::default();
+    let mt_only = JobSpec {
+        mode: droidracer_core::HbMode::MultithreadedOnly,
+        ..JobSpec::default()
+    };
+    assert!(!client.submit_trace(&full, &text).unwrap().cache_hit());
+    assert!(
+        !client.submit_trace(&mt_only, &text).unwrap().cache_hit(),
+        "different spec, same bytes: must be a distinct cache key"
+    );
+    assert!(client.submit_trace(&full, &text).unwrap().cache_hit());
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn streamed_submission_matches_batch_races() {
+    let (addr, server) = start_tcp(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr, "alice").expect("connect");
+    let spec = JobSpec::default();
+    let text = racy_text();
+    let batch = client
+        .submit_trace(&spec, &text)
+        .unwrap()
+        .report()
+        .expect("batch")
+        .clone();
+    let streamed = client
+        .submit_stream(&spec, &text, 7, 2)
+        .unwrap()
+        .report()
+        .expect("streamed")
+        .clone();
+    assert!(streamed.stats.streamed);
+    assert_eq!(streamed.races, batch.races);
+    assert_eq!(streamed.counts, batch.counts);
+    assert_eq!(streamed.exit, batch.exit);
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn tenant_isolation_rejections_and_quota() {
+    let config = ServerConfig {
+        allowed_tenants: Some(vec!["alice".into(), "greedy".into()]),
+        max_trace_bytes: 4096,
+        tenant_quota_ops: Some(1), // one word-op: exhausted by the first job
+        ..ServerConfig::default()
+    };
+    let (addr, server) = start_tcp(config);
+
+    // Unknown tenant: rejected, never runs.
+    let mut mallory = Client::connect_tcp(&addr, "mallory").expect("connect");
+    let text = racy_text();
+    match mallory.submit_trace(&JobSpec::default(), &text).unwrap() {
+        Submission::Rejected { reason } => assert!(reason.contains("unknown tenant"), "{reason}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // Oversized trace: rejected.
+    let mut alice = Client::connect_tcp(&addr, "alice").expect("connect");
+    let huge = "x".repeat(5000);
+    match alice.submit_trace(&JobSpec::default(), &huge).unwrap() {
+        Submission::Rejected { reason } => assert!(reason.contains("exceeds limit"), "{reason}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // Quota: the first job is clamped to 1 word-op (Resource), after which
+    // the tenant is refused outright — while alice still works.
+    let mut greedy = Client::connect_tcp(&addr, "greedy").expect("connect");
+    let first = greedy.submit_trace(&JobSpec::default(), &text).unwrap();
+    assert_eq!(first.report().expect("ran").exit, ExitClass::Resource);
+    let second = greedy.submit_trace(&JobSpec::default(), &text).unwrap();
+    let report = second.report().expect("refused with a report");
+    assert_eq!(report.exit, ExitClass::Resource);
+    assert!(
+        report.diagnostics.iter().any(|d| d.contains("quota exhausted")),
+        "{:?}",
+        report.diagnostics
+    );
+
+    let status = alice.status().expect("status");
+    assert!(status_counter(&status, "srv.budget_exhausted").unwrap_or(0) >= 1, "{status}");
+    assert!(status_counter(&status, "srv.rejected").unwrap_or(0) >= 2, "{status}");
+
+    alice.shutdown().expect("shutdown");
+    drop((alice, mallory, greedy));
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn panicking_job_is_quarantined_and_shard_survives() {
+    let hostile = "hostile";
+    let config = ServerConfig {
+        shards: 2,
+        fault_hook: Some(Arc::new(move |phase: &str| {
+            if phase == "job.hostile" {
+                panic!("injected fault for {phase}");
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = start_tcp(config);
+    let text = racy_text();
+
+    let mut bad = Client::connect_tcp(&addr, hostile).expect("connect");
+    let report = bad
+        .submit_trace(&JobSpec::default(), &text)
+        .unwrap()
+        .report()
+        .expect("quarantined report")
+        .clone();
+    assert_eq!(report.exit, ExitClass::Resource);
+    assert!(
+        report.diagnostics.iter().any(|d| d.contains("quarantined")),
+        "{:?}",
+        report.diagnostics
+    );
+
+    // The sibling tenant's job still runs — possibly on the same shard
+    // thread that just caught the panic — and matches the local result.
+    let mut good = Client::connect_tcp(&addr, "good").expect("connect");
+    let sibling = good
+        .submit_trace(&JobSpec::default(), &text)
+        .unwrap()
+        .report()
+        .expect("ran")
+        .clone();
+    let local = LocalService::new().submit(&JobSpec::default(), &text).unwrap();
+    assert_eq!(sibling, local);
+
+    let status = good.status().expect("status");
+    assert_eq!(status_counter(&status, "srv.quarantined"), Some(1), "{status}");
+
+    good.shutdown().expect("shutdown");
+    drop((good, bad));
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn unix_socket_and_cache_persistence() {
+    let dir = std::env::temp_dir().join(format!("droidracer-server-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock: PathBuf = dir.join("daemon.sock");
+    let cache: PathBuf = dir.join("cache.txt");
+    let config = ServerConfig {
+        cache_path: Some(cache.clone()),
+        ..ServerConfig::default()
+    };
+    let text = racy_text();
+
+    // First server run: compute and persist.
+    let server = Server::bind_unix(&sock, config.clone()).expect("bind unix");
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect_unix(&sock, "alice").expect("connect");
+    assert!(!client.submit_trace(&JobSpec::default(), &text).unwrap().cache_hit());
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join().expect("join").expect("clean run");
+    assert!(cache.exists(), "cache persisted on shutdown");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+
+    // Second server run: the very first submission hits the preloaded cache.
+    let server = Server::bind_unix(&sock, config).expect("rebind unix");
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect_unix(&sock, "alice").expect("reconnect");
+    let sub = client.submit_trace(&JobSpec::default(), &text).unwrap();
+    assert!(sub.cache_hit(), "preloaded cache answers across restarts");
+    client.shutdown().expect("shutdown");
+    drop(client);
+    handle.join().expect("join").expect("clean run");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_and_torn_traffic_keeps_the_connection_and_server_alive() {
+    let (addr, server) = start_tcp(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr, "alice").expect("connect");
+
+    // Unparseable trace: an Invalid report, not a dropped connection.
+    let report = client
+        .submit_trace(&JobSpec::default(), "complete garbage\n")
+        .unwrap()
+        .report()
+        .expect("invalid report")
+        .clone();
+    assert_eq!(report.exit, ExitClass::Invalid);
+
+    // A raw connection writing a torn frame: the server drops that
+    // connection; everyone else is unaffected.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(&[0, 0]).expect("torn prefix");
+    }
+
+    // The polite client still works.
+    let ok = client.submit_trace(&JobSpec::default(), &racy_text()).unwrap();
+    assert!(ok.report().is_some());
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("join").expect("clean run");
+}

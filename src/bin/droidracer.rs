@@ -17,7 +17,20 @@
 //! droidracer stream [<trace-file>|-] [--mode MODE] [--no-merge]
 //!                   [--chunk-ops N] [--summarize] [--window N] [--quiet]
 //!                   [--profile FILE] [budget flags]
+//! droidracer serve [--listen ADDR|--socket PATH] [--shards N]
+//!                  [--tenants a,b,c] [--max-trace-bytes N] [--cache FILE]
+//!                  [--tenant-quota-ops N] [--max-job-ops N]
+//!                  [--max-job-matrix-bits N]
+//! droidracer submit <trace-file> [--connect ADDR|--socket PATH]
+//!                   [--tenant NAME] [--stream] [--chunk-ops N]
+//!                   [--mode MODE] [--no-merge] [--validate] [--lenient]
+//!                   [budget flags]
+//! droidracer submit --status|--shutdown [--connect ADDR|--socket PATH]
 //! ```
+//!
+//! `serve` runs the sharded multi-tenant analysis daemon; `submit` sends a
+//! trace to it and exits with the job's own exit class, so a remote
+//! submission scripts exactly like a local `analyze`.
 //!
 //! `stream` analyzes a trace online: operations are parsed and ingested
 //! incrementally (from a file or stdin) and races print the moment they
@@ -40,7 +53,9 @@ use droidracer::core::{
     StreamOptions,
 };
 use droidracer::fuzz::{corpus::replay_regressions, corpus::save_regression, FuzzConfig};
+use droidracer::core::JobSpec;
 use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
+use droidracer::server::{Client, Server, ServerConfig, Submission};
 use droidracer::trace::{
     from_text, from_text_lenient, to_text, validate, ChunkedReader, Names, Trace, TraceStats,
 };
@@ -88,6 +103,25 @@ fn usage() -> ExitCode {
       --quiet           suppress live race events, print only the summary
       --profile FILE    write a Chrome trace_event profile; print span tree
       --max-ops / --max-matrix-bits / --deadline-ms   session budget
+  droidracer serve [options]
+      --listen ADDR     TCP listen address (default 127.0.0.1:7911)
+      --socket PATH     listen on a Unix socket instead of TCP
+      --shards N        shard worker threads (default 2)
+      --tenants a,b,c   tenant allowlist (default: any tenant)
+      --max-trace-bytes N  reject larger submissions (default 8 MiB)
+      --tenant-quota-ops N cumulative word-ops quota per tenant
+      --max-job-ops N   per-job analysis work cap
+      --max-job-matrix-bits N  per-job matrix allocation cap
+      --cache FILE      persist the result cache across restarts
+  droidracer submit <trace-file> [options]
+      --connect ADDR    server TCP address (default 127.0.0.1:7911)
+      --socket PATH     connect over a Unix socket instead
+      --tenant NAME     tenant identity (default `cli`)
+      --stream          drive the server's streaming engine
+      --chunk-ops N     streaming chunk size in ops (default 64)
+      --mode / --no-merge / --validate / --lenient   as for analyze
+      --max-ops / --max-matrix-bits / --deadline-ms  job budget
+  droidracer submit --status|--shutdown [--connect|--socket|--tenant]
   droidracer fuzz [options]
       --seed N          master seed (decimal or 0x-hex; default 0xD201D)
       --iters N         fuzz iterations (default 200)
@@ -766,6 +800,245 @@ fn cmd_stream(path: &str, opts: &StreamOpts) -> Result<ExitCode, Error> {
     })
 }
 
+struct ServeOpts {
+    listen: String,
+    socket: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_serve_opts(args: &[String]) -> Option<ServeOpts> {
+    let mut opts = ServeOpts {
+        listen: "127.0.0.1:7911".to_owned(),
+        socket: None,
+        config: ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                opts.listen = args.get(i + 1)?.clone();
+                i += 2;
+            }
+            "--socket" => {
+                opts.socket = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--shards" => {
+                opts.config.shards = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--tenants" => {
+                let list = args.get(i + 1)?;
+                opts.config.allowed_tenants =
+                    Some(list.split(',').map(str::to_owned).collect());
+                i += 2;
+            }
+            "--max-trace-bytes" => {
+                opts.config.max_trace_bytes = args.get(i + 1).and_then(|s| s.parse().ok())?;
+                i += 2;
+            }
+            "--tenant-quota-ops" => {
+                opts.config.tenant_quota_ops = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            "--max-job-ops" => {
+                opts.config.max_job_ops = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            "--max-job-matrix-bits" => {
+                opts.config.max_job_matrix_bits = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            "--cache" => {
+                opts.config.cache_path = Some(args.get(i + 1)?.into());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+fn cmd_serve(opts: ServeOpts) -> ExitCode {
+    let bound = match &opts.socket {
+        Some(path) => Server::bind_unix(std::path::Path::new(path), opts.config.clone())
+            .map(|s| (s, path.clone())),
+        None => Server::bind_tcp(&opts.listen, opts.config.clone()).map(|s| {
+            let addr = s
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| opts.listen.clone());
+            (s, addr)
+        }),
+    };
+    match bound {
+        Ok((server, addr)) => {
+            println!(
+                "listening on {addr} ({} shard(s))",
+                opts.config.shards.max(1)
+            );
+            match server.run() {
+                Ok(()) => ExitCode::from(EXIT_CLEAN),
+                Err(e) => {
+                    eprintln!("server failed: {e}");
+                    ExitCode::from(EXIT_FATAL)
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            ExitCode::from(EXIT_FATAL)
+        }
+    }
+}
+
+/// What a `submit` invocation asks the server to do.
+enum SubmitAction {
+    Job(String),
+    Status,
+    Shutdown,
+}
+
+struct SubmitOpts {
+    action: SubmitAction,
+    connect: String,
+    socket: Option<String>,
+    tenant: String,
+    spec: JobSpec,
+    stream: bool,
+    chunk_ops: usize,
+}
+
+fn parse_submit_opts(args: &[String]) -> Option<SubmitOpts> {
+    let mut opts = SubmitOpts {
+        action: SubmitAction::Job(String::new()),
+        connect: "127.0.0.1:7911".to_owned(),
+        socket: None,
+        tenant: "cli".to_owned(),
+        spec: JobSpec::default(),
+        stream: false,
+        chunk_ops: 64,
+    };
+    let mut path: Option<String> = None;
+    let mut status = false;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--status" => {
+                status = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            "--connect" => {
+                opts.connect = args.get(i + 1)?.clone();
+                i += 2;
+            }
+            "--socket" => {
+                opts.socket = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--tenant" => {
+                opts.tenant = args.get(i + 1)?.clone();
+                i += 2;
+            }
+            "--stream" => {
+                opts.stream = true;
+                i += 1;
+            }
+            "--chunk-ops" => {
+                opts.chunk_ops = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--mode" => {
+                opts.spec.mode = args.get(i + 1).and_then(|s| parse_mode(s))?;
+                i += 2;
+            }
+            "--no-merge" => {
+                opts.spec.merge_accesses = false;
+                i += 1;
+            }
+            "--validate" => {
+                opts.spec.validate = true;
+                i += 1;
+            }
+            "--lenient" => {
+                opts.spec.lenient = true;
+                i += 1;
+            }
+            "--max-ops" => {
+                opts.spec.max_ops = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            "--max-matrix-bits" => {
+                opts.spec.max_matrix_bits = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                opts.spec.deadline_ms = Some(args.get(i + 1).and_then(|s| parse_u64(s))?);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return None,
+            file => {
+                if path.is_some() {
+                    return None;
+                }
+                path = Some(file.to_owned());
+                i += 1;
+            }
+        }
+    }
+    opts.action = match (status, shutdown, path) {
+        (true, false, None) => SubmitAction::Status,
+        (false, true, None) => SubmitAction::Shutdown,
+        (false, false, Some(p)) => SubmitAction::Job(p),
+        _ => return None,
+    };
+    Some(opts)
+}
+
+fn cmd_submit(opts: &SubmitOpts) -> Result<ExitCode, Error> {
+    let mut client = match &opts.socket {
+        Some(path) => Client::connect_unix(std::path::Path::new(path), opts.tenant.clone())?,
+        None => Client::connect_tcp(&opts.connect, opts.tenant.clone())?,
+    };
+    let path = match &opts.action {
+        SubmitAction::Status => {
+            print!("{}", client.status()?);
+            return Ok(ExitCode::from(EXIT_CLEAN));
+        }
+        SubmitAction::Shutdown => {
+            client.shutdown()?;
+            println!("server shut down");
+            return Ok(ExitCode::from(EXIT_CLEAN));
+        }
+        SubmitAction::Job(path) => path,
+    };
+    let text = std::fs::read_to_string(path)?;
+    let submission = if opts.stream {
+        client.submit_stream(&opts.spec, &text, 4096, opts.chunk_ops as u32)?
+    } else {
+        client.submit_trace(&opts.spec, &text)?
+    };
+    match submission {
+        Submission::Done { cache_hit, report } => {
+            println!("cache {}", if cache_hit { "hit" } else { "miss" });
+            print!("{}", report.render());
+            Ok(ExitCode::from(report.exit.code()))
+        }
+        Submission::Rejected { reason } => {
+            eprintln!("rejected: {reason}");
+            Ok(ExitCode::from(EXIT_FATAL))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -889,6 +1162,24 @@ fn main() -> ExitCode {
                 return usage();
             };
             match cmd_stream(path, &opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(EXIT_FATAL)
+                }
+            }
+        }
+        "serve" => {
+            let Some(opts) = parse_serve_opts(&args[1..]) else {
+                return usage();
+            };
+            cmd_serve(opts)
+        }
+        "submit" => {
+            let Some(opts) = parse_submit_opts(&args[1..]) else {
+                return usage();
+            };
+            match cmd_submit(&opts) {
                 Ok(code) => code,
                 Err(e) => {
                     eprintln!("{e}");

@@ -26,7 +26,10 @@
 //!   metrics registry, and exporters (span-tree text, Chrome
 //!   `trace_event` JSON);
 //! * [`fuzz`] — coverage-guided differential fuzzing of the engine with
-//!   schedule-replay race witnessing and input shrinking.
+//!   schedule-replay race witnessing and input shrinking;
+//! * [`server`] — a sharded multi-tenant analysis daemon and its client,
+//!   speaking a length-prefixed framed protocol over TCP or Unix sockets,
+//!   with a content-addressed result cache and per-tenant isolation.
 //!
 //! Cross-stage failures unify into [`Error`].
 //!
@@ -64,6 +67,7 @@ pub use droidracer_explorer as explorer;
 pub use droidracer_framework as framework;
 pub use droidracer_fuzz as fuzz;
 pub use droidracer_obs as obs;
+pub use droidracer_server as server;
 pub use droidracer_sim as sim;
 pub use droidracer_trace as trace;
 pub use error::Error;

@@ -89,27 +89,35 @@ fn unmerged_graph_matches_reference() {
     assert_closure_equivalent(&trace, config, &format!("{} unmerged", entry.name));
 }
 
-/// The deprecated `Analysis::run` shim delegates to `AnalysisBuilder`: the
-/// races, category counts and engine counters are identical on the corpus.
+/// The service front door delegates to `AnalysisBuilder`: submitting a
+/// corpus trace's text through `LocalService` yields exactly the report the
+/// builder's `Analysis` maps to — races, category counts, engine counters.
 #[test]
-#[allow(deprecated)]
-fn deprecated_run_shim_matches_builder() {
-    use droidracer::core::{Analysis, AnalysisBuilder};
+fn local_service_matches_builder() {
+    use droidracer::core::{AnalysisBuilder, AnalysisService, JobReport, JobSpec, LocalService};
+    use droidracer::trace::to_text;
+    let mut service = LocalService::new();
     for entry in corpus() {
         let trace = entry.generate_trace().expect("corpus entries generate");
-        let legacy = Analysis::run(&trace);
+        let report = service
+            .submit(&JobSpec::default(), &to_text(&trace))
+            .expect("local service is infallible");
         let built = AnalysisBuilder::new()
             .analyze(&trace)
             .expect("infallible without validation");
-        assert_eq!(legacy.races(), built.races(), "{}", entry.name);
-        assert_eq!(legacy.counts(), built.counts(), "{}", entry.name);
-        assert_eq!(legacy.hb().stats(), built.hb().stats(), "{}", entry.name);
         assert_eq!(
-            legacy.representatives(),
-            built.representatives(),
+            report,
+            JobReport::from_analysis(&built, Vec::new()),
             "{}",
             entry.name
         );
+        assert_eq!(
+            report.stats.word_ops,
+            built.hb().stats().word_ops,
+            "{}",
+            entry.name
+        );
+        assert_eq!(report.counts, built.counts(), "{}", entry.name);
     }
 }
 
