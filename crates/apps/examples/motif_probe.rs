@@ -1,0 +1,98 @@
+//! Dev probe: run each new component motif in isolation and print what the
+//! detector actually reports, so the planted categories can be pinned to
+//! reality. Not part of the test suite.
+
+use droidracer_apps::{CorpusEntry, MotifBuilder, PaperRow};
+use droidracer_framework::UiEvent;
+
+fn probe(name: &'static str, seed: u64, build: impl FnOnce(&mut MotifBuilder)) {
+    let mut m = MotifBuilder::new(name, "Main");
+    build(&mut m);
+    let (app, events, truth) = m.finish();
+    let entry = CorpusEntry {
+        name,
+        open_source: true,
+        app,
+        events,
+        seed,
+        paper: PaperRow::default(),
+        truth,
+    };
+    print!("=== {name} (seed {seed}): ");
+    match entry.analyze() {
+        Err(e) => println!("ERROR: {e}"),
+        Ok(report) => {
+            println!(
+                "reported={:?} verified={:?} unplanned={} misclassified={:?}",
+                report.reported,
+                report.verified,
+                report.unplanned(&entry.truth),
+                report.misclassified(&entry.truth),
+            );
+            let names = report.analysis.trace().names();
+            for cr in report.analysis.representatives() {
+                let field = names.field_name(cr.race.loc.field);
+                let planted = entry.truth.get(&field);
+                let verify = droidracer_apps::verify_race(&entry, &field, 60);
+                println!(
+                    "    {field}: measured={:?} planted={:?} verify={verify:?}",
+                    cr.category,
+                    planted.map(|t| (t.category, t.is_true))
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    probe("svc-loader", 7, |m| m.service_loader_races(2, 1));
+    probe("svc-teardown", 7, |m| m.service_teardown_races(2, 1));
+    probe("frag-detach", 7, |m| {
+        m.fragment_detach_races(2, 1);
+        m.push_event(UiEvent::Back);
+    });
+    probe("frag-ui", 7, |m| {
+        m.fragment_ui_races(2, 1);
+        m.push_event(UiEvent::Back);
+    });
+    probe("serial-exec", 7, |m| m.serial_executor_races(2, 1));
+    probe("serial-handoff", 7, |m| m.serial_executor_handoff(3));
+    probe("bc-sender", 7, |m| m.broadcast_sender_races(2, 1));
+    probe("bc-ui", 7, |m| m.broadcast_ui_races(2, 1));
+    probe("rotation", 7, |m| {
+        m.rotation_saved_state_fp(1);
+        m.rotation_leak_races();
+    });
+
+    for entry in droidracer_apps::component_corpus() {
+        print!("=== app {} (seed {}): ", entry.name, entry.seed);
+        match entry.analyze() {
+            Err(e) => println!("ERROR: {e}"),
+            Ok(report) => {
+                let stats = report.stats;
+                println!(
+                    "reported={:?} unplanned={} misclassified={:?} len={} fields={} threads={}/{} tasks={}",
+                    report.reported,
+                    report.unplanned(&entry.truth),
+                    report.misclassified(&entry.truth),
+                    stats.trace_length,
+                    stats.fields,
+                    stats.threads_without_queues,
+                    stats.threads_with_queues,
+                    stats.async_tasks,
+                );
+                let names = report.analysis.trace().names();
+                for cr in report.analysis.representatives() {
+                    let field = names.field_name(cr.race.loc.field);
+                    let planted = entry.truth.get(&field);
+                    let verify = droidracer_apps::verify_race(&entry, &field, 60);
+                    println!(
+                        "    {field}: measured={:?} planted={:?} verify={verify:?}",
+                        cr.category,
+                        planted.map(|t| (t.category, t.is_true))
+                    );
+                }
+            }
+        }
+    }
+}

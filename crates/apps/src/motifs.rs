@@ -42,6 +42,8 @@ pub struct MotifBuilder {
     app: AppBuilder,
     act: ActivityId,
     on_create: Vec<Stmt>,
+    on_stop: Vec<Stmt>,
+    on_destroy: Vec<Stmt>,
     events: Vec<UiEvent>,
     truth: GroundTruth,
     field_counter: usize,
@@ -57,6 +59,8 @@ impl MotifBuilder {
             app,
             act,
             on_create: Vec::new(),
+            on_stop: Vec::new(),
+            on_destroy: Vec::new(),
             events: Vec::new(),
             truth: GroundTruth::new(),
             field_counter: 0,
@@ -83,6 +87,12 @@ impl MotifBuilder {
     /// Appends a UI event to the driven sequence.
     pub fn push_event(&mut self, event: UiEvent) {
         self.events.push(event);
+    }
+
+    /// The ground truth planted so far. Lets callers synthesize paper rows
+    /// whose reported counts match the planted races exactly.
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
     }
 
     fn fresh_field(&mut self, tag: &str) -> (Var, String) {
@@ -533,7 +543,7 @@ impl MotifBuilder {
         );
         self.on_create.insert(0, Stmt::Write(flag));
         self.on_create.push(Stmt::ExecuteAsyncTask(at));
-        self.app.on_destroy(self.act, vec![Stmt::Write(flag)]);
+        self.on_destroy.push(Stmt::Write(flag));
         if press_back {
             self.events.push(UiEvent::Back);
             // Depending on the schedule the race surfaces as multithreaded
@@ -549,11 +559,453 @@ impl MotifBuilder {
         name
     }
 
+    /// SERVICE-automaton motif: `onCreate` of a started service forks a
+    /// loader thread that writes shared state, and `onStartCommand` reads it
+    /// on main without waiting — the Aard-Dictionary shape lifted onto the
+    /// service lifecycle (the two transitions are FIFO-ordered by the
+    /// binder→main queue, but the loader is not). False positives join an
+    /// `untracked:` loader before reading, so the ordering is real but
+    /// invisible.
+    pub fn service_loader_races(&mut self, n_true: usize, n_false: usize) {
+        for (hidden, n) in [(false, n_true), (true, n_false)] {
+            if n == 0 {
+                continue;
+            }
+            let tag = if hidden { "svc.fp.f" } else { "svc.f" };
+            let fields: Vec<(Var, String)> = (0..n).map(|_| self.fresh_field(tag)).collect();
+            let writes: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            let prefix = if hidden { "untracked:svc-loader" } else { "svc-loader" };
+            let suffix = if hidden { "Hidden" } else { "" };
+            let w = self.app.worker(format!("{prefix}{suffix}"), writes);
+            let mut start_body = Vec::new();
+            if hidden {
+                start_body.push(Stmt::JoinWorker(w));
+            }
+            start_body.extend(fields.iter().map(|(v, _)| Stmt::Read(*v)));
+            let svc = self.app.service(
+                format!("SyncService{suffix}"),
+                vec![Stmt::ForkWorker(w)],
+                start_body,
+                vec![],
+            );
+            self.on_create.push(Stmt::StartService(svc));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::Multithreaded,
+                    !hidden,
+                    if hidden {
+                        "onStartCommand joins the loader through an untracked native join"
+                    } else {
+                        "service loader thread vs onStartCommand read, no synchronization"
+                    },
+                );
+            }
+        }
+    }
+
+    /// SERVICE-automaton teardown motif: a background sync thread posts its
+    /// result to main while a STOP button triggers `onDestroy` (via
+    /// `stopService`), which reads the half-published state — the worker's
+    /// post and the binder's destroy post are unordered. False positives
+    /// join the `untracked:` sync thread inside the STOP handler before
+    /// calling `stopService`, so the publish always lands first.
+    pub fn service_teardown_races(&mut self, n_true: usize, n_false: usize) {
+        for (hidden, n) in [(false, n_true), (true, n_false)] {
+            if n == 0 {
+                continue;
+            }
+            let tag = if hidden { "svcstop.fp.f" } else { "svcstop.f" };
+            let fields: Vec<(Var, String)> = (0..n).map(|_| self.fresh_field(tag)).collect();
+            let writes: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            let prefix = if hidden { "untracked:svc-sync" } else { "svc-sync" };
+            let suffix = if hidden { "Hidden" } else { "" };
+            let publish = self.app.handler(format!("syncPublish{suffix}"), writes);
+            let w = self.app.worker(
+                format!("{prefix}{suffix}"),
+                vec![Stmt::Post {
+                    handler: publish,
+                    delay: None,
+                    front: false,
+                }],
+            );
+            let svc = self.app.service(
+                format!("StoppableService{suffix}"),
+                vec![],
+                vec![],
+                fields.iter().map(|(v, _)| Stmt::Read(*v)).collect(),
+            );
+            self.on_create.push(Stmt::ForkWorker(w));
+            self.on_create.push(Stmt::StartService(svc));
+            let mut stop_body = Vec::new();
+            if hidden {
+                stop_body.push(Stmt::JoinWorker(w));
+            }
+            stop_body.push(Stmt::StopService(svc));
+            let stop = self.app.button(self.act, format!("stopSync{suffix}"), stop_body);
+            self.events.push(UiEvent::Widget(stop, UiEventKind::Click));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::CrossPosted,
+                    !hidden,
+                    if hidden {
+                        "the STOP handler natively waits for the publish before stopService"
+                    } else {
+                        "worker-posted publish vs binder-posted onDestroy, unordered"
+                    },
+                );
+            }
+        }
+    }
+
+    /// FRAGMENT-automaton detach motif: `onAttach` forks a view loader that
+    /// reads the fragment's view fields; pressing BACK destroys the host,
+    /// and the spliced `onDestroyView` nulls the fields while the loader may
+    /// still be running. The composition must end its event sequence with
+    /// [`UiEvent::Back`]. False positives join an `untracked:` loader at the
+    /// top of `onDestroyView`.
+    pub fn fragment_detach_races(&mut self, n_true: usize, n_false: usize) {
+        for (hidden, n) in [(false, n_true), (true, n_false)] {
+            if n == 0 {
+                continue;
+            }
+            let tag = if hidden { "frag.fp.f" } else { "frag.f" };
+            let fields: Vec<(Var, String)> = (0..n).map(|_| self.fresh_field(tag)).collect();
+            let reads: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Read(*v)).collect();
+            let prefix = if hidden { "untracked:frag-loader" } else { "frag-loader" };
+            let suffix = if hidden { "Hidden" } else { "" };
+            let w = self.app.worker(format!("{prefix}{suffix}"), reads);
+            let mut destroy_view = Vec::new();
+            if hidden {
+                destroy_view.push(Stmt::JoinWorker(w));
+            }
+            destroy_view.extend(fields.iter().map(|(v, _)| Stmt::Write(*v)));
+            self.app.fragment(
+                self.act,
+                format!("GalleryFragment{suffix}"),
+                vec![Stmt::ForkWorker(w)],
+                vec![],
+                destroy_view,
+                vec![],
+            );
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::Multithreaded,
+                    !hidden,
+                    if hidden {
+                        "onDestroyView natively joins the view loader before nulling"
+                    } else {
+                        "fragment view loader vs onDestroyView nulling the view fields"
+                    },
+                );
+            }
+        }
+    }
+
+    /// FRAGMENT-automaton UI motif: the fragment's `onDetach` (spliced into
+    /// the host's destroy transition) clears fields that a toolbar button
+    /// reads — the BACK teardown and the click are independently enabled
+    /// events, so the race is co-enabled. The composition must end its event
+    /// sequence with [`UiEvent::Back`]. False positives initialize the
+    /// fields in `onAttach` and read them from an `untracked:` dialog the
+    /// attach enables — the enable is invisible, so the pair looks
+    /// co-enabled although the dialog can never fire first.
+    pub fn fragment_ui_races(&mut self, n_true: usize, n_false: usize) {
+        if n_true > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_true).map(|_| self.fresh_field("fragui.f")).collect();
+            let reads: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Read(*v)).collect();
+            let toolbar = self.app.button(self.act, "openToolbar", reads);
+            self.events.push(UiEvent::Widget(toolbar, UiEventKind::Click));
+            self.app.fragment(
+                self.act,
+                "ToolbarFragment",
+                vec![],
+                vec![],
+                vec![],
+                fields.iter().map(|(v, _)| Stmt::Write(*v)).collect(),
+            );
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::CoEnabled,
+                    true,
+                    "the BACK teardown (running onDetach) and the toolbar click \
+                     are independently enabled events",
+                );
+            }
+        }
+        if n_false > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_false).map(|_| self.fresh_field("fragui.fp.f")).collect();
+            let reads: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Read(*v)).collect();
+            let dialog = self.app.button(self.act, "untracked:fragDialogOk", reads);
+            self.app.initially_disabled(dialog);
+            let mut attach: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            attach.push(Stmt::EnableWidget(dialog, UiEventKind::Click));
+            self.app
+                .fragment(self.act, "FeedFragmentHidden", attach, vec![], vec![], vec![]);
+            self.events.push(UiEvent::Widget(dialog, UiEventKind::Click));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::CoEnabled,
+                    false,
+                    "the dialog can only fire after onAttach enabled it; the \
+                     enable is invisible to the tracer",
+                );
+            }
+        }
+    }
+
+    /// INTENT_SERVICE-automaton motif: `onHandleIntent` runs on the
+    /// component's serial executor and writes upload state that a
+    /// main-thread status runnable reads — two different threads, no
+    /// synchronization. False positives hand the completion back to main
+    /// through an `untracked:` relay thread forked at the end of the
+    /// delivery, so the status read really happens after the write.
+    pub fn serial_executor_races(&mut self, n_true: usize, n_false: usize) {
+        for (hidden, n) in [(false, n_true), (true, n_false)] {
+            if n == 0 {
+                continue;
+            }
+            let tag = if hidden { "isvc.fp.f" } else { "isvc.f" };
+            let fields: Vec<(Var, String)> = (0..n).map(|_| self.fresh_field(tag)).collect();
+            let reads: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Read(*v)).collect();
+            let suffix = if hidden { "Hidden" } else { "" };
+            let status = self.app.handler(format!("uploadStatus{suffix}"), reads);
+            let mut handle: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            if hidden {
+                let relay = self.app.worker(
+                    "untracked:relay",
+                    vec![Stmt::Post {
+                        handler: status,
+                        delay: None,
+                        front: false,
+                    }],
+                );
+                handle.push(Stmt::ForkWorker(relay));
+            }
+            let isvc = self.app.intent_service(format!("Uploader{suffix}"), handle);
+            self.on_create.push(Stmt::StartIntentService(isvc));
+            if !hidden {
+                self.on_create.push(Stmt::Post {
+                    handler: status,
+                    delay: None,
+                    front: false,
+                });
+            }
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::Multithreaded,
+                    !hidden,
+                    if hidden {
+                        "completion is relayed to main by an untracked thread after the write"
+                    } else {
+                        "serial-executor delivery vs main-thread status read"
+                    },
+                );
+            }
+        }
+    }
+
+    /// INTENT_SERVICE-automaton negative motif: two intents delivered to the
+    /// same serial executor write the same fields. The per-component FIFO
+    /// queue orders the deliveries, so the detector must report nothing —
+    /// the fields carry no ground truth and any report shows up as an
+    /// unplanned race in the oracle suite.
+    pub fn serial_executor_handoff(&mut self, fields: usize) {
+        let vars: Vec<(Var, String)> = (0..fields).map(|_| self.fresh_field("isvc.safe.f")).collect();
+        let body: Vec<Stmt> = vars.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+        let isvc = self.app.intent_service("LogWriter", body);
+        self.on_create.push(Stmt::StartIntentService(isvc));
+        self.on_create.push(Stmt::StartIntentService(isvc));
+    }
+
+    /// Broadcast/binder-boundary motif: a network thread sends a broadcast
+    /// and keeps mutating its buffers — `onReceive` is cross-posted to main
+    /// with no happens-after edge back to the sender's *later* operations.
+    /// False positives write first and delegate the send to an `untracked:`
+    /// notifier thread, so the receiver really sees completed writes.
+    pub fn broadcast_sender_races(&mut self, n_true: usize, n_false: usize) {
+        if n_true > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_true).map(|_| self.fresh_field("bc.f")).collect();
+            let rec = self.app.receiver(
+                "NetReceiver",
+                fields.iter().map(|(v, _)| Stmt::Read(*v)).collect(),
+            );
+            let mut body = vec![Stmt::SendBroadcast(rec)];
+            body.extend(fields.iter().map(|(v, _)| Stmt::Write(*v)));
+            let w = self.app.worker("net-sender", body);
+            self.on_create.push(Stmt::ForkWorker(w));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::Multithreaded,
+                    true,
+                    "onReceive has no happens-after edge to the sender's later writes",
+                );
+            }
+        }
+        if n_false > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_false).map(|_| self.fresh_field("bc.fp.f")).collect();
+            let rec = self.app.receiver(
+                "NetReceiverHidden",
+                fields.iter().map(|(v, _)| Stmt::Read(*v)).collect(),
+            );
+            let notifier = self
+                .app
+                .worker("untracked:notifier", vec![Stmt::SendBroadcast(rec)]);
+            let mut body: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            body.push(Stmt::ForkWorker(notifier));
+            let w = self.app.worker("data-writer", body);
+            self.on_create.push(Stmt::ForkWorker(w));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::Multithreaded,
+                    false,
+                    "the broadcast is sent by an untracked notifier after the writes finish",
+                );
+            }
+        }
+    }
+
+    /// Broadcast-vs-UI motif: `onReceive` (binder-posted to main) updates
+    /// state that a refresh button's click handler reads — the delivery and
+    /// the UI event are unordered. False positives surface the result in an
+    /// `untracked:` alert dialog enabled from `onReceive`.
+    pub fn broadcast_ui_races(&mut self, n_true: usize, n_false: usize) {
+        if n_true > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_true).map(|_| self.fresh_field("bcui.f")).collect();
+            let rec = self.app.receiver(
+                "StatusReceiver",
+                fields.iter().map(|(v, _)| Stmt::Write(*v)).collect(),
+            );
+            let beacon = self.app.worker("beacon", vec![Stmt::SendBroadcast(rec)]);
+            self.on_create.push(Stmt::ForkWorker(beacon));
+            let refresh = self.app.button(
+                self.act,
+                "refreshStatus",
+                fields.iter().map(|(v, _)| Stmt::Read(*v)).collect(),
+            );
+            self.events.push(UiEvent::Widget(refresh, UiEventKind::Click));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::CrossPosted,
+                    true,
+                    "binder-posted onReceive vs an independently clicked refresh",
+                );
+            }
+        }
+        if n_false > 0 {
+            let fields: Vec<(Var, String)> =
+                (0..n_false).map(|_| self.fresh_field("bcui.fp.f")).collect();
+            let alert = self.app.button(
+                self.act,
+                "untracked:alertOk",
+                fields.iter().map(|(v, _)| Stmt::Read(*v)).collect(),
+            );
+            self.app.initially_disabled(alert);
+            let mut receive: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+            receive.push(Stmt::EnableWidget(alert, UiEventKind::Click));
+            let rec = self.app.receiver("AlertReceiver", receive);
+            let beacon = self.app.worker("alert-beacon", vec![Stmt::SendBroadcast(rec)]);
+            self.on_create.push(Stmt::ForkWorker(beacon));
+            self.events.push(UiEvent::Widget(alert, UiEventKind::Click));
+            for (_, name) in fields {
+                self.record(
+                    name,
+                    RaceCategory::CrossPosted,
+                    false,
+                    "the alert can only fire after onReceive enabled it; the \
+                     enable is invisible to the tracer",
+                );
+            }
+        }
+    }
+
+    /// Rotation/recreate leak motif: `onCreate` starts a thumbnail task; a
+    /// ROTATE event tears the activity down and relaunches it. The old
+    /// instance's background read races with the destroy/relaunch writes of
+    /// the cache field (multi-threaded), and its pending `onPostExecute`
+    /// races with the relaunch write of the view field (cross-posted) —
+    /// the classic leak-on-rotation. Pushes the [`UiEvent::Rotate`] itself.
+    pub fn rotation_leak_races(&mut self) -> (String, String) {
+        let (cache, cache_name) = self.fresh_field("leak.cache");
+        let (view, view_name) = self.fresh_field("leak.view");
+        let at = self.app.async_task(
+            "ThumbTask",
+            vec![],
+            vec![Stmt::Read(cache), Stmt::PublishProgress],
+            vec![],
+            vec![Stmt::Write(view)],
+        );
+        self.on_create.insert(0, Stmt::Write(view));
+        self.on_create.insert(0, Stmt::Write(cache));
+        self.on_create.push(Stmt::ExecuteAsyncTask(at));
+        self.on_destroy.push(Stmt::Write(cache));
+        self.events.push(UiEvent::Rotate);
+        self.record(
+            cache_name.clone(),
+            RaceCategory::Multithreaded,
+            true,
+            "old instance's background read vs the destroy/relaunch cache writes",
+        );
+        self.record(
+            view_name.clone(),
+            RaceCategory::CrossPosted,
+            true,
+            "pending onPostExecute vs the relaunched instance's view write",
+        );
+        (cache_name, view_name)
+    }
+
+    /// Rotation false positive: the state saved on teardown is produced by
+    /// an `untracked:` saver thread that `onStop` natively joins, so the
+    /// `onDestroy` read really happens after the write — but the trace shows
+    /// an unsynchronized cross-thread pair.
+    pub fn rotation_saved_state_fp(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let fields: Vec<(Var, String)> = (0..n).map(|_| self.fresh_field("leak.fp.f")).collect();
+        let writes: Vec<Stmt> = fields.iter().map(|(v, _)| Stmt::Write(*v)).collect();
+        let w = self.app.worker("untracked:state-saver", writes);
+        self.on_create.push(Stmt::ForkWorker(w));
+        self.on_stop.push(Stmt::JoinWorker(w));
+        self.on_destroy
+            .extend(fields.iter().map(|(v, _)| Stmt::Read(*v)));
+        for (_, name) in fields {
+            self.record(
+                name,
+                RaceCategory::Multithreaded,
+                false,
+                "onStop natively joins the state saver before onDestroy reads",
+            );
+        }
+    }
+
     /// Finalizes: installs the accumulated `onCreate` body and returns the
     /// app, the event sequence and the ground truth.
     pub fn finish(mut self) -> (App, Vec<UiEvent>, GroundTruth) {
         let on_create = std::mem::take(&mut self.on_create);
         self.app.on_create(self.act, on_create);
+        if !self.on_stop.is_empty() {
+            let on_stop = std::mem::take(&mut self.on_stop);
+            self.app.on_stop(self.act, on_stop);
+        }
+        if !self.on_destroy.is_empty() {
+            let on_destroy = std::mem::take(&mut self.on_destroy);
+            self.app.on_destroy(self.act, on_destroy);
+        }
         (self.app.finish(), self.events, self.truth)
     }
 }

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use droidracer_apps::{analyze_corpus_isolated, corpus};
+use droidracer_apps::{analyze_corpus_isolated, analyze_corpus_parallel, component_corpus, corpus};
 use droidracer_bench::{engine_stats_table, maybe_export_profile, TextTable};
 use droidracer_core::bitmatrix::BitMatrix;
 use droidracer_core::{
@@ -154,6 +154,21 @@ fn main() {
         fuzz_report.render()
     );
     fuzz_report.export_metrics(&mut registry);
+    // The component-substructure coverage features: each must have fired at
+    // least once in the seeded session, and the counts land in the JSON so a
+    // generator regression that stops reaching a component path is visible.
+    for (feature, count) in fuzz_report.coverage.entries() {
+        if feature.starts_with("gen.component.") {
+            registry.counter_add(feature, count);
+        }
+    }
+    for label in ["service", "fragment", "serial_executor", "broadcast"] {
+        let key = format!("gen.component.{label}");
+        assert!(
+            registry.counter(&key).unwrap_or(0) > 0,
+            "seeded fuzz session never generated the {label} component substructure"
+        );
+    }
     println!(
         "fuzz smoke (seed 0x{:X}): {} iterations, {} races, witnessed {}, \
          unwitnessed {}, oracle divergences 0\n",
@@ -163,6 +178,13 @@ fn main() {
         fuzz_report.total_witnessed(),
         fuzz_report.total_unwitnessed(),
     );
+
+    // Component-corpus ground-truth guard: the 7 component apps must verify
+    // exactly their planted true races (`motif.planted == motif.verified`),
+    // and their analysis cost gets its own exact word-ops budget — kept out
+    // of the original 15-app registry so the long-standing corpus budget
+    // below is untouched by corpus growth.
+    export_motif_counters(&mut registry);
 
     // Robustness guard: the clean corpus must sail through the hardened
     // pipeline untouched — zero quarantines, zero lenient-parse repairs,
@@ -222,6 +244,114 @@ fn main() {
 
     maybe_export_profile(&span1, &registry);
     enforce_word_ops_budget(&stats_rows, &registry);
+}
+
+/// Analyzes the component-automaton corpus and exports:
+///
+/// * `motif.planted` (counter): planted true races summed over the 7
+///   component apps;
+/// * `motif.verified` (counter): races the schedule-replay verifier
+///   confirmed — asserted equal to `motif.planted` (exact recovery);
+/// * `motif.reported` (counter): all representatives including planted
+///   false positives;
+/// * `motif.word_ops` (counter): the component corpus' happens-before
+///   word-ops total, gated by its own exact budget
+///   (`tests/data/wordops_budget_component.txt`, `BLESS=1` rewrites it).
+///
+/// The component analyses never touch the main registry's `hb.*` counters,
+/// so the original 15-app word-ops budget keeps gating exactly the paper
+/// corpus.
+fn export_motif_counters(registry: &mut MetricsRegistry) {
+    let entries = component_corpus();
+    let reports = analyze_corpus_parallel(&entries, default_threads());
+    let mut planted = 0u64;
+    let mut verified = 0u64;
+    let mut reported = 0u64;
+    let mut word_ops = 0u64;
+    for (entry, report) in entries.iter().zip(reports) {
+        let report = report.expect("component entry analyzes");
+        assert_eq!(
+            report.unplanned(&entry.truth),
+            0,
+            "{}: unplanned races on the clean component corpus",
+            entry.name
+        );
+        planted += entry.truth.values().filter(|t| t.is_true).count() as u64;
+        verified += report.verified.total() as u64;
+        reported += report.reported.total() as u64;
+        word_ops += report.analysis.hb().stats().word_ops;
+    }
+    assert_eq!(
+        planted, verified,
+        "component corpus: planted true races must all verify"
+    );
+    registry.counter_add("motif.planted", planted);
+    registry.counter_add("motif.verified", verified);
+    registry.counter_add("motif.reported", reported);
+    registry.counter_add("motif.word_ops", word_ops);
+    println!(
+        "component-corpus guard OK: {} apps, {planted} planted true races all verified \
+         ({reported} reported incl. planted false positives)\n",
+        entries.len()
+    );
+    enforce_component_word_ops_budget(word_ops);
+}
+
+/// Exact word-ops ceiling for the component corpus — the sibling of
+/// [`enforce_word_ops_budget`] with its own blessed line, so growing the
+/// catalog never perturbs the original 15-app budget.
+fn enforce_component_word_ops_budget(total: u64) {
+    let budget_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/wordops_budget_component.txt"
+    );
+    if std::env::var("BLESS").is_ok() {
+        let content = format!(
+            "# Component-corpus (7 component-automaton apps) happens-before\n\
+             # `word_ops` budget, enforced by the pipeline bench alongside the\n\
+             # original 15-app budget in wordops_budget.txt. Regenerate with:\n\
+             #   BLESS=1 cargo run --release -p droidracer-bench --bin pipeline\n\
+             {total}\n"
+        );
+        match std::fs::write(budget_path, content) {
+            Ok(()) => println!("blessed component word-ops budget: {total}"),
+            Err(e) => {
+                eprintln!("could not write {budget_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let budget: u64 = match std::fs::read_to_string(budget_path) {
+        Ok(text) => match text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse().ok())
+        {
+            Some(b) => b,
+            None => {
+                eprintln!("component word-ops budget file {budget_path} is malformed");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "missing component word-ops budget {budget_path}: {e} \
+                 (measured {total}; run with BLESS=1)"
+            );
+            std::process::exit(1);
+        }
+    };
+    if total > budget {
+        eprintln!(
+            "PERF REGRESSION: component-corpus word_ops {total} exceeds budget {budget} \
+             (+{:.1}%). If intentional, re-bless with BLESS=1.",
+            100.0 * (total as f64 - budget as f64) / budget as f64
+        );
+        std::process::exit(1);
+    }
+    println!("component word-ops budget OK: {total} <= {budget}");
 }
 
 /// Runs the fault-isolated corpus analysis and a lenient re-parse of every

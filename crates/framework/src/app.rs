@@ -43,6 +43,14 @@ pub struct AsyncTaskId(pub(crate) usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServiceId(pub(crate) usize);
 
+/// Reference to an IntentService (a service with its own serial executor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntentServiceId(pub(crate) usize);
+
+/// Reference to a Fragment nested inside a host activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FragmentId(pub(crate) usize);
+
 /// Reference to a BroadcastReceiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReceiverId(pub(crate) usize);
@@ -174,6 +182,9 @@ pub enum Stmt {
     /// `registerReceiver(receiver, filter)` for a dynamically registered
     /// receiver: broadcasts can only be delivered after registration.
     RegisterReceiver(ReceiverId),
+    /// `startService(intent)` on an `IntentService`: queues one
+    /// `onHandleIntent` on the component's serial executor.
+    StartIntentService(IntentServiceId),
 }
 
 /// The seven lifecycle callback bodies of an activity.
@@ -228,6 +239,27 @@ pub(crate) struct ServiceDef {
 }
 
 #[derive(Debug, Clone, Default)]
+pub(crate) struct IntentServiceDef {
+    pub name: String,
+    /// `onHandleIntent`, run on the component's own serial-executor queue.
+    pub handle_intent: Vec<Stmt>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FragmentDef {
+    pub name: String,
+    pub activity: ActivityId,
+    /// `onAttach`, spliced into the host's LAUNCH transition.
+    pub attach: Vec<Stmt>,
+    /// `onCreateView`, spliced into the host's LAUNCH transition.
+    pub create_view: Vec<Stmt>,
+    /// `onDestroyView`, spliced into the host's destroy transition.
+    pub destroy_view: Vec<Stmt>,
+    /// `onDetach`, spliced into the host's destroy transition.
+    pub detach: Vec<Stmt>,
+}
+
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ReceiverDef {
     pub name: String,
     pub receive: Vec<Stmt>,
@@ -256,6 +288,8 @@ pub struct App {
     pub(crate) widgets: Vec<WidgetDef>,
     pub(crate) async_tasks: Vec<AsyncTaskDef>,
     pub(crate) services: Vec<ServiceDef>,
+    pub(crate) intent_services: Vec<IntentServiceDef>,
+    pub(crate) fragments: Vec<FragmentDef>,
     pub(crate) receivers: Vec<ReceiverDef>,
     pub(crate) workers: Vec<WorkerDef>,
     pub(crate) handler_threads: Vec<String>,
@@ -309,6 +343,24 @@ impl App {
     /// Whether a widget's events are available without an `EnableWidget`.
     pub fn widget_initially_enabled(&self, w: WidgetId) -> bool {
         self.widgets[w.0].initially_enabled
+    }
+
+    /// Fragments attached to an activity, in declaration order.
+    pub fn fragments_of(&self, a: ActivityId) -> Vec<FragmentId> {
+        (0..self.fragments.len())
+            .map(FragmentId)
+            .filter(|f| self.fragments[f.0].activity == a)
+            .collect()
+    }
+
+    /// Display name of a fragment.
+    pub fn fragment_name(&self, f: FragmentId) -> &str {
+        &self.fragments[f.0].name
+    }
+
+    /// Display name of an intent service.
+    pub fn intent_service_name(&self, s: IntentServiceId) -> &str {
+        &self.intent_services[s.0].name
     }
 }
 
@@ -460,6 +512,47 @@ impl AppBuilder {
             create,
             start_command,
             destroy,
+        });
+        id
+    }
+
+    /// Declares an IntentService: each [`Stmt::StartIntentService`] queues
+    /// one `onHandleIntent` run on the component's own serial executor (a
+    /// dedicated FIFO queue thread, distinct from the main Looper).
+    pub fn intent_service(
+        &mut self,
+        name: impl Into<String>,
+        handle_intent: Vec<Stmt>,
+    ) -> IntentServiceId {
+        let id = IntentServiceId(self.app.intent_services.len());
+        self.app.intent_services.push(IntentServiceDef {
+            name: name.into(),
+            handle_intent,
+        });
+        id
+    }
+
+    /// Declares a Fragment nested in `activity`: attach/createView run
+    /// inside the host's LAUNCH transition, destroyView/detach inside the
+    /// host's destroy transition (per the Fragment automaton in
+    /// [`crate::dsl`]).
+    pub fn fragment(
+        &mut self,
+        activity: ActivityId,
+        name: impl Into<String>,
+        attach: Vec<Stmt>,
+        create_view: Vec<Stmt>,
+        destroy_view: Vec<Stmt>,
+        detach: Vec<Stmt>,
+    ) -> FragmentId {
+        let id = FragmentId(self.app.fragments.len());
+        self.app.fragments.push(FragmentDef {
+            name: name.into(),
+            activity,
+            attach,
+            create_view,
+            destroy_view,
+            detach,
         });
         id
     }

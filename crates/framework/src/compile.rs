@@ -31,7 +31,9 @@ use droidracer_sim::{
 };
 use droidracer_trace::{PostKind, ThreadKind};
 
-use crate::app::{ActivityId, App, AsyncTaskId, Stmt, UiEventKind, WidgetId};
+use crate::app::{ActivityId, App, AsyncTaskId, CallbackBodies, Stmt, UiEventKind, WidgetId};
+use crate::dsl;
+use crate::lifecycle::Callback;
 use crate::ui::UiEvent;
 
 /// A lifecycle transition task of an activity.
@@ -72,6 +74,111 @@ impl LifecycleTask {
             LifecycleTask::Resume,
             LifecycleTask::Relaunch,
         ]
+    }
+
+    /// The transition named `label` in the [`dsl::ACTIVITY`] task table.
+    fn from_label(label: &str) -> Option<LifecycleTask> {
+        LifecycleTask::all().into_iter().find(|t| t.label() == label)
+    }
+}
+
+/// One transition task of the activity lowering plan: which callback bodies
+/// it runs, which transitions it enables, and whether it is the entry
+/// transition (the one that plants widget enables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTask {
+    /// The transition this plan entry lowers.
+    pub task: LifecycleTask,
+    /// Lifecycle callback bodies the task runs, in order.
+    pub runs: Vec<Callback>,
+    /// Transitions enabled when the task completes.
+    pub enables: Vec<LifecycleTask>,
+    /// Whether this is the entry transition.
+    pub initial: bool,
+}
+
+/// The complete per-activity lowering plan, normally derived from
+/// [`dsl::ACTIVITY`]. [`compile_with_activity_plan`] accepts a hand-built
+/// plan instead — the hook the DSL-faithfulness differential test uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityPlan {
+    /// Plan entries in [`dsl::ACTIVITY`] task-table order.
+    pub tasks: Vec<PlanTask>,
+}
+
+impl ActivityPlan {
+    /// Derives the plan from the declarative [`dsl::ACTIVITY`] automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton spec is internally inconsistent or names a
+    /// callback/transition the compiler does not know — a defect in the
+    /// constant tables, caught by every compile in the test suite.
+    pub fn from_dsl() -> Self {
+        dsl::ACTIVITY.validate().expect("ACTIVITY automaton is consistent");
+        let callback = |name: &str| {
+            Callback::all()
+                .into_iter()
+                .find(|c| c.method_name() == name)
+                .unwrap_or_else(|| panic!("unknown activity callback {name}"))
+        };
+        let tasks = dsl::ACTIVITY
+            .tasks
+            .iter()
+            .map(|t| PlanTask {
+                task: LifecycleTask::from_label(t.label)
+                    .unwrap_or_else(|| panic!("unknown activity transition {}", t.label)),
+                runs: t.runs.iter().map(|r| callback(r)).collect(),
+                enables: t
+                    .enables
+                    .iter()
+                    .map(|e| {
+                        LifecycleTask::from_label(e)
+                            .unwrap_or_else(|| panic!("unknown enable target {e}"))
+                    })
+                    .collect(),
+                initial: t.initial,
+            })
+            .collect();
+        ActivityPlan { tasks }
+    }
+}
+
+/// The fragment callback bodies spliced into the host transition `task`,
+/// per the [`dsl::FRAGMENT`] `nested_in` table, in automaton order.
+fn nested_fragment_bodies(
+    app: &App,
+    f: crate::app::FragmentId,
+    task: LifecycleTask,
+) -> Vec<&[Stmt]> {
+    let def = &app.fragments[f.0];
+    let body = |name: &str| -> &[Stmt] {
+        match name {
+            "onAttach" => &def.attach,
+            "onCreateView" => &def.create_view,
+            "onDestroyView" => &def.destroy_view,
+            "onDetach" => &def.detach,
+            other => panic!("unknown fragment callback {other}"),
+        }
+    };
+    dsl::FRAGMENT
+        .tasks
+        .iter()
+        .filter(|t| t.nested_in.and_then(LifecycleTask::from_label) == Some(task))
+        .flat_map(|t| t.runs.iter().map(|r| body(r)))
+        .collect()
+}
+
+/// The callback body of `cb` for `c`.
+fn callback_body(cb: &CallbackBodies, c: Callback) -> &[Stmt] {
+    match c {
+        Callback::Create => &cb.create,
+        Callback::Start => &cb.start,
+        Callback::Resume => &cb.resume,
+        Callback::Pause => &cb.pause,
+        Callback::Stop => &cb.stop,
+        Callback::Restart => &cb.restart,
+        Callback::Destroy => &cb.destroy,
     }
 }
 
@@ -156,8 +263,13 @@ struct Refs {
     mutexes: Vec<LockRef>,
     lifecycle: HashMap<(ActivityId, LifecycleTask), TaskRef>,
     widget_handlers: HashMap<(WidgetId, UiEventKind), TaskRef>,
+    service_create: Vec<TaskRef>,
     service_start: Vec<TaskRef>,
     service_destroy: Vec<TaskRef>,
+    /// One serial-executor queue thread per IntentService.
+    intent_queues: Vec<ThreadRef>,
+    /// The per-IntentService `onHandleIntent` task.
+    intent_handle: Vec<TaskRef>,
     receive: Vec<TaskRef>,
     handlers: Vec<TaskRef>,
     at_progress: Vec<TaskRef>,
@@ -172,6 +284,21 @@ struct Refs {
 /// event sequence is infeasible on the abstract UI, or statements are used
 /// out of context.
 pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileError> {
+    compile_with_activity_plan(app, events, &ActivityPlan::from_dsl())
+}
+
+/// Compiles `app` with an explicit activity lowering plan instead of the
+/// one derived from [`dsl::ACTIVITY`] — the differential-testing hook that
+/// proves the DSL-derived plan reproduces the legacy hand-coded lowering.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_activity_plan(
+    app: &App,
+    events: &[UiEvent],
+    plan: &ActivityPlan,
+) -> Result<CompiledApp, CompileError> {
     let main_activity = app.main_activity().ok_or(CompileError::NoMainActivity)?;
     let mut p = ProgramBuilder::new();
 
@@ -189,8 +316,10 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
         widget_counts: HashMap::new(),
         started_services: vec![false; app.services.len()],
     };
-    walk.binder_posts
-        .push(refs.lifecycle[&(main_activity, LifecycleTask::Launch)]);
+    walk.binder_posts.push((
+        refs.lifecycle[&(main_activity, LifecycleTask::Launch)],
+        refs.main,
+    ));
     walk.process_activity_resume_path(main_activity, 0)?;
     for event in events {
         walk.process_event(*event)?;
@@ -202,17 +331,14 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
         ..
     } = walk;
 
-    // Phase 2: compile all bodies.
+    // Phase 2: compile all bodies. The per-activity transition tasks are
+    // assembled from the lowering plan (derived from the DSL automaton).
     let mut cc = BodyCompiler { app, refs: &refs };
     for (a_idx, act) in app.activities.iter().enumerate() {
         let a = ActivityId(a_idx);
         let cb = &act.callbacks;
-        let lifecycle_enables = [
-            Action::Enable(refs.lifecycle[&(a, LifecycleTask::Pause)]),
-            Action::Enable(refs.lifecycle[&(a, LifecycleTask::Destroy)]),
-        ];
         // Per-occurrence enables for the initially enabled widgets of this
-        // activity, planted at LAUNCH (see module docs).
+        // activity, planted at the entry transition (see module docs).
         let mut widget_enables = Vec::new();
         for &w in &act.widgets {
             if !app.widgets[w.0].initially_enabled {
@@ -225,35 +351,27 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
                 }
             }
         }
-        let mut launch = cc.stmts(&cb.create, None)?;
-        launch.extend(cc.stmts(&cb.start, None)?);
-        launch.extend(cc.stmts(&cb.resume, None)?);
-        launch.extend(lifecycle_enables.iter().cloned());
-        launch.extend(widget_enables);
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Launch)], launch);
-
-        let mut resume = cc.stmts(&cb.resume, None)?;
-        resume.extend(lifecycle_enables.iter().cloned());
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Resume)], resume);
-
-        let mut relaunch = cc.stmts(&cb.restart, None)?;
-        relaunch.extend(cc.stmts(&cb.start, None)?);
-        relaunch.extend(cc.stmts(&cb.resume, None)?);
-        relaunch.extend(lifecycle_enables.iter().cloned());
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Relaunch)], relaunch);
-
-        let mut pause = cc.stmts(&cb.pause, None)?;
-        pause.push(Action::Enable(refs.lifecycle[&(a, LifecycleTask::Stop)]));
-        pause.push(Action::Enable(refs.lifecycle[&(a, LifecycleTask::Resume)]));
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Pause)], pause);
-
-        let mut stop = cc.stmts(&cb.stop, None)?;
-        stop.push(Action::Enable(refs.lifecycle[&(a, LifecycleTask::Relaunch)]));
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Stop)], stop);
-
-        let mut destroy = cc.stmts(&cb.destroy, None)?;
-        destroy.push(Action::Enable(refs.lifecycle[&(a, LifecycleTask::Launch)]));
-        p.set_task_body(refs.lifecycle[&(a, LifecycleTask::Destroy)], destroy);
+        for pt in &plan.tasks {
+            let mut body = Vec::new();
+            for &c in &pt.runs {
+                cc.lower_into(callback_body(cb, c), None, &mut body)?;
+            }
+            // Fragment callbacks nested in this transition (per the
+            // FRAGMENT automaton's `nested_in` table) run after the host
+            // callbacks, before the transition's enables.
+            for f in app.fragments_of(a) {
+                for frag_body in nested_fragment_bodies(app, f, pt.task) {
+                    cc.lower_into(frag_body, None, &mut body)?;
+                }
+            }
+            for &en in &pt.enables {
+                body.push(Action::Enable(refs.lifecycle[&(a, en)]));
+            }
+            if pt.initial {
+                body.extend(widget_enables.iter().cloned());
+            }
+            p.set_task_body(refs.lifecycle[&(a, pt.task)], body);
+        }
     }
     for (w_idx, widget) in app.widgets.iter().enumerate() {
         for (kind, body) in &widget.handlers {
@@ -261,11 +379,18 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
             p.set_task_body(task, cc.stmts(body, None)?);
         }
     }
+    // Services lower one task per SERVICE-automaton transition (onCreate /
+    // onStartCommand / onDestroy are separate posts, unlike the merged
+    // legacy lowering).
     for (s_idx, service) in app.services.iter().enumerate() {
-        let mut body = cc.stmts(&service.create, None)?;
-        body.extend(cc.stmts(&service.start_command, None)?);
-        p.set_task_body(refs.service_start[s_idx], body);
+        p.set_task_body(refs.service_create[s_idx], cc.stmts(&service.create, None)?);
+        p.set_task_body(refs.service_start[s_idx], cc.stmts(&service.start_command, None)?);
         p.set_task_body(refs.service_destroy[s_idx], cc.stmts(&service.destroy, None)?);
+    }
+    // IntentServices: `onHandleIntent` bodies run on the component's own
+    // serial-executor queue thread.
+    for (s_idx, svc) in app.intent_services.iter().enumerate() {
+        p.set_task_body(refs.intent_handle[s_idx], cc.stmts(&svc.handle_intent, None)?);
     }
     for (r_idx, receiver) in app.receivers.iter().enumerate() {
         p.set_task_body(refs.receive[r_idx], cc.stmts(&receiver.receive, None)?);
@@ -314,9 +439,9 @@ pub fn compile(app: &App, events: &[UiEvent]) -> Result<CompiledApp, CompileErro
     );
     let binder_body = binder_posts
         .iter()
-        .map(|&task| Action::Post {
+        .map(|&(task, target)| Action::Post {
             task,
-            target: refs.main,
+            target,
             kind: PostKind::Plain,
         })
         .collect();
@@ -363,6 +488,13 @@ fn allocate(app: &App, p: &mut ProgramBuilder) -> Refs {
         .iter()
         .map(|t| p.thread(ThreadSpec::app(format!("{}-bg", t.name))))
         .collect();
+    // One serial-executor looper per IntentService: the component's own
+    // FIFO queue, distinct from the main Looper (dsl::INTENT_SERVICE).
+    let intent_queues = app
+        .intent_services
+        .iter()
+        .map(|s| p.thread(ThreadSpec::app(format!("{}-queue", s.name)).initial().with_queue()))
+        .collect();
     let mut timers = HashMap::new();
     for (i, spec) in collect_timers(app).into_iter().enumerate() {
         timers
@@ -396,16 +528,34 @@ fn allocate(app: &App, p: &mut ProgramBuilder) -> Refs {
             widget_handlers.insert((WidgetId(w_idx), *kind), task);
         }
     }
+    // Service transition tasks, one per SERVICE-automaton table entry, all
+    // enable-gated so the system post can never precede the app's
+    // startService/stopService call.
+    let mut service_create = Vec::new();
     let mut service_start = Vec::new();
     let mut service_destroy = Vec::new();
     for s in &app.services {
-        let start = p.task(format!("{}.onStartCommand", s.name), Vec::new());
-        p.require_enable(start);
-        let destroy = p.task(format!("{}.onDestroy", s.name), Vec::new());
-        p.require_enable(destroy);
-        service_start.push(start);
-        service_destroy.push(destroy);
+        for spec in dsl::SERVICE.tasks {
+            let task = p.task(format!("{}.{}", s.name, spec.label), Vec::new());
+            p.require_enable(task);
+            match spec.label {
+                "onCreate" => service_create.push(task),
+                "onStartCommand" => service_start.push(task),
+                "onDestroy" => service_destroy.push(task),
+                other => unreachable!("unknown service transition {other}"),
+            }
+        }
     }
+    let intent_handle = app
+        .intent_services
+        .iter()
+        .map(|s| {
+            let label = dsl::INTENT_SERVICE.entry_task().expect("entry task").label;
+            let t = p.task(format!("{}.{}", s.name, label), Vec::new());
+            p.require_enable(t);
+            t
+        })
+        .collect();
     let receive = app
         .receivers
         .iter()
@@ -441,8 +591,11 @@ fn allocate(app: &App, p: &mut ProgramBuilder) -> Refs {
         mutexes,
         lifecycle,
         widget_handlers,
+        service_create,
         service_start,
         service_destroy,
+        intent_queues,
+        intent_handle,
         receive,
         handlers,
         at_progress,
@@ -490,6 +643,14 @@ fn collect_timers(app: &App) -> Vec<(usize, u64, u64, u32)> {
             scan(body, &mut out);
         }
     }
+    for svc in &app.intent_services {
+        scan(&svc.handle_intent, &mut out);
+    }
+    for f in &app.fragments {
+        for body in [&f.attach, &f.create_view, &f.destroy_view, &f.detach] {
+            scan(body, &mut out);
+        }
+    }
     for r in &app.receivers {
         scan(&r.receive, &mut out);
     }
@@ -509,7 +670,10 @@ const MAX_WALK_DEPTH: usize = 24;
 struct Walk<'a> {
     app: &'a App,
     refs: &'a Refs,
-    binder_posts: Vec<TaskRef>,
+    /// System posts the binder performs, in order, with their target
+    /// looper (main for activity/service/receiver transitions, the
+    /// component's serial-executor queue for IntentService deliveries).
+    binder_posts: Vec<(TaskRef, ThreadRef)>,
     injections: Vec<TaskRef>,
     stack: Vec<ActivityId>,
     widget_counts: HashMap<(WidgetId, UiEventKind), usize>,
@@ -548,43 +712,68 @@ impl Walk<'_> {
                 let a = self.stack.pop().ok_or(CompileError::EventAfterExit)?;
                 self.teardown(a, 0)?;
                 if let Some(&below) = self.stack.last() {
-                    self.binder_posts
-                        .push(self.refs.lifecycle[&(below, LifecycleTask::Relaunch)]);
+                    self.post_lifecycle(below, LifecycleTask::Relaunch);
                     self.process_activity_resume_path(below, 0)?;
                 }
             }
             UiEvent::Rotate => {
                 let a = *self.stack.last().ok_or(CompileError::EventAfterExit)?;
                 self.teardown(a, 0)?;
-                self.binder_posts
-                    .push(self.refs.lifecycle[&(a, LifecycleTask::Launch)]);
+                self.post_lifecycle(a, LifecycleTask::Launch);
                 self.process_activity_resume_path(a, 0)?;
             }
         }
         Ok(())
     }
 
-    /// Posts PAUSE / STOP / DESTROY of `a` and walks the callback bodies.
+    fn post_lifecycle(&mut self, a: ActivityId, task: LifecycleTask) {
+        self.binder_posts
+            .push((self.refs.lifecycle[&(a, task)], self.refs.main));
+    }
+
+    /// Posts PAUSE / STOP / DESTROY of `a` and walks the callback bodies
+    /// (including the fragment teardown spliced into the destroy
+    /// transition).
     fn teardown(&mut self, a: ActivityId, depth: usize) -> Result<(), CompileError> {
         let cb = self.app.activities[a.0].callbacks.clone();
-        self.binder_posts
-            .push(self.refs.lifecycle[&(a, LifecycleTask::Pause)]);
+        self.post_lifecycle(a, LifecycleTask::Pause);
         self.process_stmts(&cb.pause, depth)?;
-        self.binder_posts
-            .push(self.refs.lifecycle[&(a, LifecycleTask::Stop)]);
+        self.post_lifecycle(a, LifecycleTask::Stop);
         self.process_stmts(&cb.stop, depth)?;
-        self.binder_posts
-            .push(self.refs.lifecycle[&(a, LifecycleTask::Destroy)]);
+        self.post_lifecycle(a, LifecycleTask::Destroy);
         self.process_stmts(&cb.destroy, depth)?;
+        self.process_fragments(a, LifecycleTask::Destroy, depth)?;
         Ok(())
     }
 
-    /// Walks onCreate+onStart+onResume (consequences of a launch/relaunch).
+    /// Walks onCreate+onStart+onResume (consequences of a launch/relaunch),
+    /// then the fragment callbacks nested in the LAUNCH transition.
     fn process_activity_resume_path(&mut self, a: ActivityId, depth: usize) -> Result<(), CompileError> {
         let cb = self.app.activities[a.0].callbacks.clone();
         self.process_stmts(&cb.create, depth)?;
         self.process_stmts(&cb.start, depth)?;
         self.process_stmts(&cb.resume, depth)?;
+        self.process_fragments(a, LifecycleTask::Launch, depth)?;
+        Ok(())
+    }
+
+    /// Walks the fragment callback bodies nested in the given host
+    /// transition.
+    fn process_fragments(
+        &mut self,
+        a: ActivityId,
+        task: LifecycleTask,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        for f in self.app.fragments_of(a) {
+            let bodies: Vec<Vec<Stmt>> = nested_fragment_bodies(self.app, f, task)
+                .into_iter()
+                .map(<[Stmt]>::to_vec)
+                .collect();
+            for body in bodies {
+                self.process_stmts(&body, depth)?;
+            }
+        }
         Ok(())
     }
 
@@ -598,18 +787,15 @@ impl Walk<'_> {
                 Stmt::StartActivity(b) => {
                     let cur = self.stack.last().copied();
                     if let Some(cur) = cur {
-                        self.binder_posts
-                            .push(self.refs.lifecycle[&(cur, LifecycleTask::Pause)]);
+                        self.post_lifecycle(cur, LifecycleTask::Pause);
                         let pause = self.app.activities[cur.0].callbacks.pause.clone();
                         self.process_stmts(&pause, depth + 1)?;
                     }
-                    self.binder_posts
-                        .push(self.refs.lifecycle[&(*b, LifecycleTask::Launch)]);
+                    self.post_lifecycle(*b, LifecycleTask::Launch);
                     self.stack.push(*b);
                     self.process_activity_resume_path(*b, depth + 1)?;
                     if let Some(cur) = cur {
-                        self.binder_posts
-                            .push(self.refs.lifecycle[&(cur, LifecycleTask::Stop)]);
+                        self.post_lifecycle(cur, LifecycleTask::Stop);
                         let stop = self.app.activities[cur.0].callbacks.stop.clone();
                         self.process_stmts(&stop, depth + 1)?;
                     }
@@ -618,29 +804,45 @@ impl Walk<'_> {
                     if let Some(a) = self.stack.pop() {
                         self.teardown(a, depth + 1)?;
                         if let Some(&below) = self.stack.last() {
-                            self.binder_posts
-                                .push(self.refs.lifecycle[&(below, LifecycleTask::Relaunch)]);
+                            self.post_lifecycle(below, LifecycleTask::Relaunch);
                             self.process_activity_resume_path(below, depth + 1)?;
                         }
                     }
                 }
                 Stmt::StartService(s) => {
-                    self.binder_posts.push(self.refs.service_start[s.0]);
+                    // First start of a lifetime runs onCreate, then every
+                    // start delivers one onStartCommand; re-deliveries are
+                    // FIFO-ordered by the shared binder→main queue (the
+                    // SERVICE automaton's re-delivery guarantee).
                     let def = self.app.services[s.0].clone();
                     if !self.started_services[s.0] {
                         self.started_services[s.0] = true;
+                        self.binder_posts
+                            .push((self.refs.service_create[s.0], self.refs.main));
                         self.process_stmts(&def.create, depth + 1)?;
                     }
+                    self.binder_posts
+                        .push((self.refs.service_start[s.0], self.refs.main));
                     self.process_stmts(&def.start_command, depth + 1)?;
                 }
                 Stmt::StopService(s) => {
-                    self.binder_posts.push(self.refs.service_destroy[s.0]);
+                    self.binder_posts
+                        .push((self.refs.service_destroy[s.0], self.refs.main));
                     self.started_services[s.0] = false;
                     let destroy = self.app.services[s.0].destroy.clone();
                     self.process_stmts(&destroy, depth + 1)?;
                 }
+                Stmt::StartIntentService(s) => {
+                    // Delivery goes to the component's serial executor, not
+                    // the main Looper.
+                    self.binder_posts
+                        .push((self.refs.intent_handle[s.0], self.refs.intent_queues[s.0]));
+                    let body = self.app.intent_services[s.0].handle_intent.clone();
+                    self.process_stmts(&body, depth + 1)?;
+                }
                 Stmt::SendBroadcast(r) => {
-                    self.binder_posts.push(self.refs.receive[r.0]);
+                    self.binder_posts
+                        .push((self.refs.receive[r.0], self.refs.main));
                     let receive = self.app.receivers[r.0].receive.clone();
                     self.process_stmts(&receive, depth + 1)?;
                 }
@@ -760,10 +962,19 @@ impl BodyCompiler<'_> {
                     out.push(Action::Fork(self.refs.handler_threads[ht.0]))
                 }
                 Stmt::StartService(s) => {
-                    out.push(Action::Enable(self.refs.service_start[s.0]))
+                    // Enable both the (possible) onCreate delivery and the
+                    // onStartCommand delivery. Surplus enables are inert: the
+                    // walker only posts onCreate for the first start of a
+                    // service lifetime, and an un-posted enable never blocks
+                    // completion.
+                    out.push(Action::Enable(self.refs.service_create[s.0]));
+                    out.push(Action::Enable(self.refs.service_start[s.0]));
                 }
                 Stmt::StopService(s) => {
                     out.push(Action::Enable(self.refs.service_destroy[s.0]))
+                }
+                Stmt::StartIntentService(s) => {
+                    out.push(Action::Enable(self.refs.intent_handle[s.0]))
                 }
                 Stmt::SendBroadcast(r) => {
                     // Manifest-declared receivers are implicitly registered:
@@ -1031,6 +1242,153 @@ mod tests {
             .collect();
         assert!(begun.iter().any(|n| n.contains("onStartCommand")), "{begun:?}");
         assert!(begun.iter().any(|n| n.contains("onReceive")), "{begun:?}");
+    }
+
+    fn begun_tasks(trace: &droidracer_trace::Trace) -> Vec<String> {
+        let names = trace.names();
+        trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Begin { task } => Some(names.task_name(task)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_oncreate_runs_once_per_lifetime() {
+        let mut b = AppBuilder::new("SvcLife");
+        let a = b.activity("Main");
+        let v = b.var("svc", "Sync.state");
+        let svc = b.service("Sync", vec![Stmt::Write(v)], vec![Stmt::Read(v)], vec![Stmt::Write(v)]);
+        b.on_create(a, vec![Stmt::StartService(svc), Stmt::StartService(svc)]);
+        let stop = b.button(a, "stop", vec![Stmt::StopService(svc)]);
+        let again = b.button(a, "again", vec![Stmt::StartService(svc)]);
+        let app = b.finish();
+        let compiled = compile(
+            &app,
+            &[
+                UiEvent::Widget(stop, UiEventKind::Click),
+                UiEvent::Widget(again, UiEventKind::Click),
+            ],
+        )
+        .expect("compiles");
+        let result = run(
+            &compiled.program,
+            &mut RoundRobinScheduler::new(),
+            &SimConfig::default(),
+        )
+        .expect("runs");
+        assert!(result.completed, "trace:\n{}", result.trace);
+        assert_eq!(validate(&result.trace), Ok(()));
+        let begun = begun_tasks(&result.trace);
+        let creates = begun.iter().filter(|n| n.contains("Sync.onCreate")).count();
+        let starts = begun.iter().filter(|n| n.contains("Sync.onStartCommand")).count();
+        let destroys = begun.iter().filter(|n| n.contains("Sync.onDestroy")).count();
+        // onCreate once per lifetime (two lifetimes), one onStartCommand per
+        // StartService, one onDestroy for the explicit stop.
+        assert_eq!((creates, starts, destroys), (2, 3, 1), "{begun:?}");
+        let first_create = begun.iter().position(|n| n.contains("Sync.onCreate")).unwrap();
+        let first_start = begun
+            .iter()
+            .position(|n| n.contains("Sync.onStartCommand"))
+            .unwrap();
+        assert!(first_create < first_start, "{begun:?}");
+    }
+
+    #[test]
+    fn intent_service_delivers_on_its_own_serial_queue() {
+        let mut b = AppBuilder::new("IS");
+        let a = b.activity("Main");
+        let v = b.var("up", "Uploader.pending");
+        let isvc = b.intent_service("Uploader", vec![Stmt::Write(v)]);
+        b.on_create(a, vec![Stmt::StartIntentService(isvc), Stmt::StartIntentService(isvc)]);
+        let app = b.finish();
+        let compiled = compile(&app, &[]).expect("compiles");
+        let result = run(
+            &compiled.program,
+            &mut RoundRobinScheduler::new(),
+            &SimConfig::default(),
+        )
+        .expect("runs");
+        assert!(result.completed, "trace:\n{}", result.trace);
+        assert_eq!(validate(&result.trace), Ok(()));
+        let names = result.trace.names();
+        // Every delivery is posted to the component's serial executor, not
+        // the main Looper.
+        let targets: Vec<String> = result
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Post { task, target, .. }
+                    if names.task_name(task).contains("onHandleIntent") =>
+                {
+                    Some(names.thread_name(target))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec!["Uploader-queue", "Uploader-queue"]);
+        let handled = begun_tasks(&result.trace)
+            .iter()
+            .filter(|n| n.contains("onHandleIntent"))
+            .count();
+        assert_eq!(handled, 2);
+    }
+
+    #[test]
+    fn fragment_callbacks_splice_into_host_lifecycle() {
+        let mut b = AppBuilder::new("Frag");
+        let a = b.activity("Main");
+        let v = b.var("frag", "Gallery.view");
+        b.fragment(
+            a,
+            "Gallery",
+            vec![Stmt::Write(v)],
+            vec![],
+            vec![Stmt::Read(v)],
+            vec![],
+        );
+        let app = b.finish();
+        let compiled = compile(&app, &[UiEvent::Back]).expect("compiles");
+        let result = run(
+            &compiled.program,
+            &mut RoundRobinScheduler::new(),
+            &SimConfig::default(),
+        )
+        .expect("runs");
+        assert!(result.completed, "trace:\n{}", result.trace);
+        assert_eq!(validate(&result.trace), Ok(()));
+        // Track the enclosing task for each access: the fragment's attach
+        // write runs inside LAUNCH_ACTIVITY, its destroy-view read inside
+        // the host's onDestroy transition.
+        let names = result.trace.names();
+        let mut current: std::collections::HashMap<_, String> = std::collections::HashMap::new();
+        let mut write_in = None;
+        let mut read_in = None;
+        for op in result.trace.ops() {
+            match op.kind {
+                OpKind::Begin { task } => {
+                    current.insert(op.thread, names.task_name(task));
+                }
+                OpKind::End { .. } => {
+                    current.remove(&op.thread);
+                }
+                OpKind::Write { .. } => write_in = current.get(&op.thread).cloned(),
+                OpKind::Read { .. } => read_in = current.get(&op.thread).cloned(),
+                _ => {}
+            }
+        }
+        assert!(
+            write_in.as_deref().unwrap_or("").contains("LAUNCH_ACTIVITY"),
+            "write ran in {write_in:?}"
+        );
+        assert!(
+            read_in.as_deref().unwrap_or("").contains("onDestroy"),
+            "read ran in {read_in:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`UiEvent`] / [`UiState`] — the event alphabet and abstract screen
 //!   state used by the explorer;
 //! * [`compile`] — lower to a runnable simulator program;
-//! * [`lifecycle`] — the Figure 8 activity lifecycle automaton.
+//! * [`lifecycle`] — the Figure 8 activity lifecycle automaton;
+//! * [`dsl`] — the declarative automaton DSL covering every component
+//!   surface (Activity, Service, Fragment, IntentService, Receiver).
 //!
 //! # Examples
 //!
@@ -41,12 +43,17 @@
 
 mod app;
 mod compile;
+pub mod dsl;
 pub mod lifecycle;
 mod ui;
 
 pub use app::{
-    ActivityId, App, AppBuilder, AsyncTaskId, CallbackBodies, HandlerId, HandlerThreadId, Mutex,
-    ReceiverId, ServiceId, Stmt, UiEventKind, Var, WidgetId, WorkerId,
+    ActivityId, App, AppBuilder, AsyncTaskId, CallbackBodies, FragmentId, HandlerId,
+    HandlerThreadId, IntentServiceId, Mutex, ReceiverId, ServiceId, Stmt, UiEventKind, Var,
+    WidgetId, WorkerId,
 };
-pub use compile::{compile, CompileError, CompiledApp, LifecycleTask};
+pub use compile::{
+    compile, compile_with_activity_plan, ActivityPlan, CompileError, CompiledApp, LifecycleTask,
+    PlanTask,
+};
 pub use ui::{UiEvent, UiState};

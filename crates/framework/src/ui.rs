@@ -133,6 +133,16 @@ impl UiState {
                 .services
                 .iter()
                 .any(|s| mentions(&s.create, w) || mentions(&s.start_command, w))
+            || app
+                .intent_services
+                .iter()
+                .any(|s| mentions(&s.handle_intent, w))
+            || app.fragments.iter().any(|f| {
+                mentions(&f.attach, w)
+                    || mentions(&f.create_view, w)
+                    || mentions(&f.destroy_view, w)
+                    || mentions(&f.detach, w)
+            })
             || app.receivers.iter().any(|r| mentions(&r.receive, w))
     }
 

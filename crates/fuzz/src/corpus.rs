@@ -107,6 +107,9 @@ pub fn features_of(
         if spec.tasks.iter().any(|t| t.needs_enable) {
             out.insert("gen.enable_gate".to_string());
         }
+        for tag in &spec.components {
+            out.insert(format!("gen.component.{}", tag.label()));
+        }
     }
 
     for (_, op) in original.iter() {
@@ -151,6 +154,43 @@ pub fn features_of(
     }
 
     out
+}
+
+/// Whether `trace` exhibits the *serial-executor ordering* shape: an
+/// application dispatcher thread that itself never receives a post
+/// delivers two or more tasks to the same non-main queue. The FIFO rule
+/// then orders the deliveries on a dedicated serial executor rather than
+/// the main looper — an engine path the static catalog never reaches: its
+/// cross-queue fan-out always originates from the environment's *binder*
+/// threads or from loopers that are themselves posted to, never from a
+/// plain application thread.
+pub fn serial_executor_ordering(trace: &Trace) -> bool {
+    use droidracer_trace::{ThreadId, ThreadKind};
+    let mut receivers: BTreeSet<ThreadId> = BTreeSet::new();
+    for (_, op) in trace.iter() {
+        if let OpKind::Post { target, .. } = op.kind {
+            receivers.insert(target);
+        }
+    }
+    let kinds: BTreeMap<ThreadId, ThreadKind> = trace
+        .names()
+        .threads()
+        .map(|(id, d)| (id, d.kind))
+        .collect();
+    let mut deliveries: BTreeMap<(ThreadId, ThreadId), usize> = BTreeMap::new();
+    for (_, op) in trace.iter() {
+        if let OpKind::Post { target, .. } = op.kind {
+            if receivers.contains(&op.thread)
+                || kinds.get(&op.thread) != Some(&ThreadKind::App)
+                || kinds.get(&target) == Some(&ThreadKind::Main)
+                || target == op.thread
+            {
+                continue;
+            }
+            *deliveries.entry((op.thread, target)).or_insert(0) += 1;
+        }
+    }
+    deliveries.values().any(|&n| n >= 2)
 }
 
 /// Writes `trace` as a plain-text regression case `<name>.trace` in `dir`,

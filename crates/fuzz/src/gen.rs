@@ -55,6 +55,48 @@ impl Default for GenConfig {
     }
 }
 
+/// The component automaton a canned generator substructure models. Tags
+/// are recorded on the emitted [`ProgramSpec`] and surface as
+/// `gen.component.*` coverage features, so the driver can boost whichever
+/// component path recent iterations left cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentTag {
+    /// A started Service: binder posts onCreate + re-delivered
+    /// onStartCommands to the main queue, with a forked loader worker.
+    Service,
+    /// A Fragment splice: host launch forks background work that the host
+    /// teardown races (detach-during-background-work).
+    Fragment,
+    /// An IntentService serial executor: its own FIFO queue thread,
+    /// deliveries ordered among themselves but racing other threads.
+    SerialExecutor,
+    /// A broadcast boundary: onReceive cross-posted with no happens-before
+    /// edge back to the sender's later writes.
+    Broadcast,
+}
+
+impl ComponentTag {
+    /// All tags, in generation-roll order.
+    pub fn all() -> [ComponentTag; 4] {
+        [
+            ComponentTag::Service,
+            ComponentTag::Fragment,
+            ComponentTag::SerialExecutor,
+            ComponentTag::Broadcast,
+        ]
+    }
+
+    /// The `gen.component.{label}` feature suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentTag::Service => "service",
+            ComponentTag::Fragment => "fragment",
+            ComponentTag::SerialExecutor => "serial_executor",
+            ComponentTag::Broadcast => "broadcast",
+        }
+    }
+}
+
 /// Per-feature generation weights (relative, in arbitrary units). The fuzz
 /// driver raises a weight when coverage shows the feature rarely fires.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +121,38 @@ pub struct GenBias {
     pub enable_gate_pct: u32,
     /// Probability (percent) that a task is an environment-event handler.
     pub event_task_pct: u32,
+    /// Probability (percent) of appending the Service substructure.
+    pub service_pct: u32,
+    /// Probability (percent) of appending the Fragment substructure.
+    pub fragment_pct: u32,
+    /// Probability (percent) of appending the IntentService serial-executor
+    /// substructure.
+    pub serial_executor_pct: u32,
+    /// Probability (percent) of appending the broadcast-boundary
+    /// substructure.
+    pub broadcast_pct: u32,
+}
+
+impl GenBias {
+    /// The probability (percent) of appending `tag`'s substructure.
+    pub fn component_pct(&self, tag: ComponentTag) -> u32 {
+        match tag {
+            ComponentTag::Service => self.service_pct,
+            ComponentTag::Fragment => self.fragment_pct,
+            ComponentTag::SerialExecutor => self.serial_executor_pct,
+            ComponentTag::Broadcast => self.broadcast_pct,
+        }
+    }
+
+    /// Sets the probability (percent) of appending `tag`'s substructure.
+    pub fn set_component_pct(&mut self, tag: ComponentTag, pct: u32) {
+        match tag {
+            ComponentTag::Service => self.service_pct = pct,
+            ComponentTag::Fragment => self.fragment_pct = pct,
+            ComponentTag::SerialExecutor => self.serial_executor_pct = pct,
+            ComponentTag::Broadcast => self.broadcast_pct = pct,
+        }
+    }
 }
 
 impl Default for GenBias {
@@ -94,6 +168,10 @@ impl Default for GenBias {
             fork: 3,
             enable_gate_pct: 30,
             event_task_pct: 35,
+            service_pct: 12,
+            fragment_pct: 12,
+            serial_executor_pct: 12,
+            broadcast_pct: 12,
         }
     }
 }
@@ -190,6 +268,9 @@ pub struct ProgramSpec {
     pub locs: usize,
     /// Environment-event injections in order.
     pub injections: Vec<SpecInjection>,
+    /// Component substructures appended to this spec (coverage metadata —
+    /// shrinking may delete the structure while the tag remains).
+    pub components: Vec<ComponentTag>,
 }
 
 impl ProgramSpec {
@@ -375,7 +456,153 @@ pub fn generate(rng: &mut SmallRng, config: &GenConfig, bias: &GenBias) -> Progr
         });
     }
 
+    // Component substructures, appended strictly after every draw above so
+    // older seeds reproduce their pre-component RNG prefix unchanged. Each
+    // substructure only appends new threads/tasks/locations (no index in
+    // the generated part shifts) and posts only from thread bodies, so the
+    // acyclic task-posting discipline is preserved.
+    for tag in ComponentTag::all() {
+        if rng.random_range(0..100) < bias.component_pct(tag) as usize {
+            append_component(&mut spec, tag);
+        }
+    }
+
     spec
+}
+
+/// Appends the canned substructure modeling `tag` to `spec`.
+///
+/// The shapes mirror the framework's component automata at the simulator
+/// level, exercising the engine paths the plain generator reaches rarely:
+///
+/// * [`ComponentTag::Service`] — a binder-like system thread posts
+///   `onCreate` and two re-delivered `onStartCommand`s to the main queue
+///   (FIFO-ordered among themselves), while a forked loader worker races
+///   the command handlers.
+/// * [`ComponentTag::Fragment`] — a host launch task forks background view
+///   work that the host teardown task reads: the
+///   detach-during-background-work window.
+/// * [`ComponentTag::SerialExecutor`] — a dedicated FIFO queue thread
+///   receives two deliveries from one dispatcher (ordered by the FIFO
+///   rule: the serial-executor ordering constraint), while their shared
+///   status field races the main thread.
+/// * [`ComponentTag::Broadcast`] — a sender posts `onReceive` cross-thread
+///   and keeps writing afterwards with no happens-before edge back.
+fn append_component(spec: &mut ProgramSpec, tag: ComponentTag) {
+    let n = spec.components.iter().filter(|t| **t == tag).count();
+    let fresh_loc = |spec: &mut ProgramSpec| {
+        spec.locs += 1;
+        spec.locs - 1
+    };
+    let thread = |spec: &mut ProgramSpec, name: String, initial: bool, queue: bool, kind, body| {
+        spec.threads.push(SpecThread { name, initial, queue, kind, body });
+        spec.threads.len() - 1
+    };
+    let task = |spec: &mut ProgramSpec, name: String, body| {
+        spec.tasks.push(SpecTask { name, event: None, needs_enable: false, body });
+        spec.tasks.len() - 1
+    };
+    let post = |t: usize, target: usize| SpecAction::Post { task: t, target, kind: PostKind::Plain };
+    const MAIN: usize = 0;
+
+    match tag {
+        ComponentTag::Service => {
+            let loc = fresh_loc(spec);
+            let worker = thread(
+                spec,
+                format!("svcWorker{n}"),
+                false,
+                false,
+                ThreadKind::App,
+                vec![SpecAction::Write(loc)],
+            );
+            let create = task(
+                spec,
+                format!("svcCreate{n}"),
+                vec![SpecAction::Fork(worker), SpecAction::Write(loc)],
+            );
+            let start = task(spec, format!("svcStart{n}"), vec![SpecAction::Read(loc)]);
+            let destroy = task(spec, format!("svcDestroy{n}"), vec![SpecAction::Read(loc)]);
+            thread(
+                spec,
+                format!("sysServer{n}"),
+                true,
+                false,
+                ThreadKind::Binder,
+                vec![post(create, MAIN), post(start, MAIN), post(start, MAIN), post(destroy, MAIN)],
+            );
+        }
+        ComponentTag::Fragment => {
+            let loc = fresh_loc(spec);
+            let worker = thread(
+                spec,
+                format!("fragWorker{n}"),
+                false,
+                false,
+                ThreadKind::App,
+                vec![SpecAction::Write(loc)],
+            );
+            let attach = task(
+                spec,
+                format!("hostAttach{n}"),
+                vec![SpecAction::Write(loc), SpecAction::Fork(worker)],
+            );
+            let detach = task(spec, format!("hostDetach{n}"), vec![SpecAction::Read(loc)]);
+            thread(
+                spec,
+                format!("hostBinder{n}"),
+                true,
+                false,
+                ThreadKind::App,
+                vec![post(attach, MAIN), post(detach, MAIN)],
+            );
+        }
+        ComponentTag::SerialExecutor => {
+            let handoff = fresh_loc(spec);
+            let status = fresh_loc(spec);
+            let queue = thread(
+                spec,
+                format!("serialq{n}"),
+                true,
+                true,
+                ThreadKind::App,
+                Vec::new(),
+            );
+            let first = task(
+                spec,
+                format!("handleIntentA{n}"),
+                vec![SpecAction::Write(handoff), SpecAction::Write(status)],
+            );
+            let second = task(
+                spec,
+                format!("handleIntentB{n}"),
+                vec![SpecAction::Write(handoff), SpecAction::Read(status)],
+            );
+            thread(
+                spec,
+                format!("dispatcher{n}"),
+                true,
+                false,
+                ThreadKind::App,
+                vec![post(first, queue), post(second, queue)],
+            );
+            // The status field also races the main thread's own body.
+            spec.threads[MAIN].body.push(SpecAction::Read(status));
+        }
+        ComponentTag::Broadcast => {
+            let loc = fresh_loc(spec);
+            let receive = task(spec, format!("onReceive{n}"), vec![SpecAction::Write(loc)]);
+            thread(
+                spec,
+                format!("sender{n}"),
+                true,
+                false,
+                ThreadKind::App,
+                vec![post(receive, MAIN), SpecAction::Write(loc)],
+            );
+        }
+    }
+    spec.components.push(tag);
 }
 
 #[derive(Clone, Copy)]
@@ -555,6 +782,61 @@ mod tests {
             assert!(!all_actions
                 .iter()
                 .any(|a| matches!(a, SpecAction::Post { kind: PostKind::Front, .. })));
+        }
+    }
+
+    #[test]
+    fn component_substructures_lower_and_every_tag_appears() {
+        let mut rng = SmallRng::seed_from_u64(0xC0DE);
+        let mut bias = GenBias::default();
+        for tag in ComponentTag::all() {
+            bias.set_component_pct(tag, 60);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..200 {
+            let spec = generate(&mut rng, &GenConfig::default(), &bias);
+            assert!(spec.lower().is_ok(), "iteration {i}: {spec:?}");
+            for tag in &spec.components {
+                seen.insert(tag.label());
+            }
+        }
+        for tag in ComponentTag::all() {
+            assert!(seen.contains(tag.label()), "{} never generated", tag.label());
+        }
+    }
+
+    #[test]
+    fn zero_component_pct_suppresses_substructures() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut bias = GenBias::default();
+        for tag in ComponentTag::all() {
+            bias.set_component_pct(tag, 0);
+        }
+        for _ in 0..50 {
+            let spec = generate(&mut rng, &GenConfig::default(), &bias);
+            assert!(spec.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn component_programs_complete_under_simulation() {
+        use droidracer_sim::{run, RandomScheduler, SimConfig};
+        let mut rng = SmallRng::seed_from_u64(0xFEED);
+        let mut bias = GenBias::default();
+        for tag in ComponentTag::all() {
+            bias.set_component_pct(tag, 100);
+        }
+        for i in 0..50 {
+            let spec = generate(&mut rng, &GenConfig::default(), &bias);
+            assert_eq!(spec.components.len(), 4, "iteration {i}");
+            let program = spec.lower().expect("lowers");
+            let result = run(
+                &program,
+                &mut RandomScheduler::new(i),
+                &SimConfig { max_steps: 20_000 },
+            )
+            .expect("runs");
+            assert!(result.completed, "iteration {i} hit the step cap");
         }
     }
 }

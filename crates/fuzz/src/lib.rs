@@ -47,7 +47,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use corpus::{features_of, Coverage};
-use gen::{generate, GenBias, GenConfig, ProgramSpec};
+use gen::{generate, ComponentTag, GenBias, GenConfig, ProgramSpec};
 use oracle::{check_trace, Divergence, DivergenceKind};
 use shrink::shrink;
 use witness::witness_race;
@@ -268,6 +268,11 @@ pub fn bias_from_coverage(coverage: &Coverage) -> GenBias {
     );
     if coverage.is_rare("gen.enable_gate") {
         bias.enable_gate_pct = (bias.enable_gate_pct * 2).min(90);
+    }
+    for tag in ComponentTag::all() {
+        if coverage.is_rare(&format!("gen.component.{}", tag.label())) {
+            bias.set_component_pct(tag, (bias.component_pct(tag) * 3).min(60));
+        }
     }
     bias
 }

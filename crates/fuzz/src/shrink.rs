@@ -281,6 +281,7 @@ mod tests {
             locks: 0,
             locs: 2,
             injections: Vec::new(),
+            components: Vec::new(),
         }
     }
 

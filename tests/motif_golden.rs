@@ -1,0 +1,73 @@
+//! Golden regression test pinning the component-corpus race counts — the
+//! sibling of `table3_golden` for the 7 component-automaton applications.
+//!
+//! The committed snapshot in `tests/data/motif_counts.txt` records, for
+//! every component-corpus entry, the reported and ground-truth-verified
+//! race counts per §4.3 category. Any change to the detector, the
+//! classifier, the component automata or the motifs that shifts a single
+//! cell fails here and must be reviewed deliberately.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test motif_golden
+//! ```
+
+use std::fmt::Write as _;
+
+use droidracer::apps::{analyze_corpus_parallel, component_corpus, RaceCategory};
+use droidracer::core::{default_threads, CategoryCounts};
+
+const SNAPSHOT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/motif_counts.txt");
+const SNAPSHOT: &str = include_str!("data/motif_counts.txt");
+
+const CATEGORIES: [(RaceCategory, &str); 5] = [
+    (RaceCategory::Multithreaded, "mt"),
+    (RaceCategory::CrossPosted, "cross"),
+    (RaceCategory::CoEnabled, "co"),
+    (RaceCategory::Delayed, "delayed"),
+    (RaceCategory::Unknown, "unknown"),
+];
+
+fn fmt_counts(c: &CategoryCounts) -> String {
+    CATEGORIES
+        .iter()
+        .map(|(cat, label)| format!("{label}={}", c.get(*cat)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn render_snapshot() -> String {
+    let entries = component_corpus();
+    let reports = analyze_corpus_parallel(&entries, default_threads());
+    let mut out = String::from(
+        "# Per-application component-corpus category counts (reported | verified true positives).\n\
+         # Regenerate with: BLESS=1 cargo test --test motif_golden\n",
+    );
+    for (entry, report) in entries.iter().zip(reports) {
+        let report = report.expect("component entries analyze");
+        writeln!(
+            out,
+            "{:<16} reported: {:<48} verified: {}",
+            entry.name,
+            fmt_counts(&report.reported),
+            fmt_counts(&report.verified),
+        )
+        .expect("string write");
+    }
+    out
+}
+
+#[test]
+fn component_corpus_counts_match_golden_snapshot() {
+    let current = render_snapshot();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(SNAPSHOT_PATH, &current).expect("snapshot written");
+        return;
+    }
+    assert_eq!(
+        current, SNAPSHOT,
+        "component-corpus category counts drifted from tests/data/motif_counts.txt; \
+         if the change is intentional, regenerate with `BLESS=1 cargo test --test motif_golden`"
+    );
+}

@@ -1,0 +1,157 @@
+//! Ground-truth oracle suite: every catalog application — the 15 paper
+//! apps and the 7 component-automaton apps — must recover *exactly* its
+//! planted [`droidracer::apps::RaceTruth`] set.
+//!
+//! "Exactly" means four things, all checked per app:
+//!
+//! * every reported representative sits on a planted field (no unplanned
+//!   reports),
+//! * every planted field is reported (no silent misses),
+//! * the measured [`droidracer::apps::RaceCategory`] equals the planted one
+//!   field by field (not just in aggregate),
+//! * replay agrees with the true/false annotation: planted true races are
+//!   witnessable by schedule replay ([`VerifyOutcome::Reordered`]) and
+//!   planted false positives — pairs ordered by synchronization the tracer
+//!   cannot see — are not.
+
+use std::collections::BTreeMap;
+
+use droidracer::apps::{
+    component_corpus, corpus, open_source_corpus, verify_race, RaceCategory, VerifyOutcome,
+};
+
+/// field → measured category, one entry per reported representative. An
+/// app whose detection is exact produces precisely its truth table here.
+fn measured_map(entry: &droidracer::apps::CorpusEntry) -> BTreeMap<String, RaceCategory> {
+    let report = entry.analyze().expect("entry analyzes");
+    let names = report.analysis.trace().names();
+    let mut measured = BTreeMap::new();
+    for cr in report.analysis.representatives() {
+        let field = names.field_name(cr.race.loc.field);
+        let prev = measured.insert(field.clone(), cr.category);
+        assert!(
+            prev.is_none(),
+            "{}: field {field} reported under two categories",
+            entry.name
+        );
+    }
+    measured
+}
+
+#[test]
+fn every_catalog_app_recovers_exactly_the_planted_races() {
+    let mut entries = corpus();
+    entries.extend(component_corpus());
+    for entry in entries {
+        let measured = measured_map(&entry);
+        let planted: BTreeMap<String, RaceCategory> = entry
+            .truth
+            .iter()
+            .map(|(f, t)| (f.clone(), t.category))
+            .collect();
+        assert_eq!(
+            measured, planted,
+            "{}: reported (field, category) set differs from the planted truth",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn catalog_reports_carry_zero_unplanned_and_zero_misclassified() {
+    // Redundant with the exact-set check above, but phrased through the
+    // production diagnostics so those stay honest too.
+    let mut entries = corpus();
+    entries.extend(component_corpus());
+    for entry in entries {
+        let report = entry.analyze().expect("entry analyzes");
+        assert_eq!(report.unplanned(&entry.truth), 0, "{}", entry.name);
+        assert_eq!(
+            report.misclassified(&entry.truth),
+            Vec::new(),
+            "{}",
+            entry.name
+        );
+        assert_eq!(
+            report.reported.total(),
+            entry.truth.len(),
+            "{}: reported count != planted count",
+            entry.name
+        );
+        let planted_true = entry.truth.values().filter(|t| t.is_true).count();
+        assert_eq!(
+            report.verified.total(),
+            planted_true,
+            "{}: verified count != planted trues",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn component_truth_annotations_agree_with_replay() {
+    // The component corpus is small enough to witness every annotation:
+    // true races reorder under an alternative schedule, false positives
+    // (ordered by untracked joins/enables) never do.
+    for entry in component_corpus() {
+        for (field, truth) in &entry.truth {
+            let outcome = verify_race(&entry, field, 60).expect("verification runs");
+            let expected = if truth.is_true {
+                VerifyOutcome::Reordered
+            } else {
+                VerifyOutcome::NotReordered
+            };
+            assert_eq!(
+                outcome, expected,
+                "{} field {field}: planted is_true={} but replay says {outcome:?} ({})",
+                entry.name, truth.is_true, truth.note
+            );
+        }
+    }
+}
+
+#[test]
+fn open_source_truth_annotations_agree_with_replay_sampled() {
+    // The paper corpus plants hundreds of races; witness one true and one
+    // false annotation per open-source app (BTreeMap order makes the
+    // sample deterministic).
+    for entry in open_source_corpus() {
+        let one_true = entry.truth.iter().find(|(_, t)| t.is_true);
+        let one_false = entry.truth.iter().find(|(_, t)| !t.is_true);
+        for (field, truth) in one_true.into_iter().chain(one_false) {
+            let outcome = verify_race(&entry, field, 60).expect("verification runs");
+            let expected = if truth.is_true {
+                VerifyOutcome::Reordered
+            } else {
+                VerifyOutcome::NotReordered
+            };
+            assert_eq!(
+                outcome, expected,
+                "{} field {field}: planted is_true={} but replay says {outcome:?}",
+                entry.name, truth.is_true
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_executor_handoff_stays_silent() {
+    // The Upload Queue app contains deliberately unsynchronized-looking
+    // writes from two queued intents to the same IntentService; the
+    // per-component FIFO orders them, so they are *not* planted as races
+    // and the detector must stay silent about them (checked implicitly by
+    // the exact-set test, pinned explicitly here).
+    let entry = component_corpus()
+        .into_iter()
+        .find(|e| e.name == "Upload Queue")
+        .expect("Upload Queue exists");
+    let report = entry.analyze().expect("entry analyzes");
+    let names = report.analysis.trace().names();
+    for cr in report.analysis.representatives() {
+        let field = names.field_name(cr.race.loc.field);
+        assert!(
+            !field.starts_with("isvc.safe."),
+            "serial-executor handoff field {field} was reported as a race"
+        );
+    }
+}
