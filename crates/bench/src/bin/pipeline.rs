@@ -27,7 +27,9 @@ use droidracer_core::{
 };
 use droidracer_fuzz::{run_fuzz, FuzzConfig};
 use droidracer_obs::{chrome_trace, strip_wall_clock, MetricsRegistry};
-use droidracer_server::{status_counter, Client, Server, ServerConfig, Submission};
+use droidracer_server::{
+    run_soak, status_counter, ChaosPlan, Client, RetryPolicy, Server, ServerConfig, Submission,
+};
 use droidracer_trace::{from_text_lenient, to_text, Trace};
 
 /// One measured sweep point.
@@ -211,6 +213,14 @@ fn main() {
     // must be answered entirely from the cache. The `srv.*` counters land
     // in the bench JSON.
     export_server_counters(&names, &traces, &reference, &mut registry);
+
+    // Chaos soak: a fresh per-scenario server is subjected to the seeded
+    // fault plan (torn frames, dropped connections, stalls, shard panics,
+    // torn/corrupt WAL tails). Violation counters (`srv.chaos.*`) land in
+    // the bench JSON and must all be zero; activity totals land as
+    // `chaos.*` gauges so a fault plan that silently stops injecting
+    // faults is also visible.
+    export_chaos_counters(&mut registry);
 
     // Profile determinism check: the exported span structure — not just the
     // reports — must be bit-identical across thread counts once the
@@ -668,7 +678,13 @@ fn export_server_counters(
         .collect();
 
     // Pass 1 (clean tenant): every served report equals the direct one.
-    let mut clean = Client::connect_tcp(&addr, "clean").expect("connect");
+    // The clean client runs with the standard retry policy: against a
+    // healthy server it must never actually retry, which the zero
+    // `srv.client.retries` / `srv.client.gave_up` exports below pin.
+    let mut clean = Client::connect_tcp(&addr, "clean")
+        .expect("connect")
+        .with_retry_policy(RetryPolicy::standard())
+        .expect("retry policy");
     let start = Instant::now();
     for ((name, text), want) in names.iter().zip(&texts).zip(&expected) {
         let sub = clean.submit_trace(&spec, text).expect("submit");
@@ -727,6 +743,7 @@ fn export_server_counters(
     }
 
     let status = clean.status().expect("status");
+    let clean_stats = clean.stats();
     clean.shutdown().expect("shutdown");
     drop((clean, corrupt, greedy, hostile));
     handle.join().expect("join").expect("server run failed");
@@ -749,6 +766,12 @@ fn export_server_counters(
         registry.counter_add(key, status_counter(&status, key).unwrap_or(0));
     }
     registry.gauge_set("srv.traces_per_sec", traces.len() as f64 / first_pass);
+    // Exported even when (expected to be) zero: a healthy server must not
+    // make a retrying client work for its answers.
+    registry.counter_add("srv.client.retries", clean_stats.retries);
+    registry.counter_add("srv.client.gave_up", clean_stats.gave_up);
+    assert_eq!(clean_stats.retries, 0, "clean pass needed retries");
+    assert_eq!(clean_stats.gave_up, 0, "clean pass abandoned a submission");
     assert_eq!(
         registry.counter("srv.cache_hits"),
         Some(traces.len() as u64),
@@ -763,6 +786,27 @@ fn export_server_counters(
         traces.len(),
         traces.len() as f64 / first_pass,
         traces.len(),
+    );
+}
+
+/// Runs the deterministic chaos soak (its own per-scenario servers and
+/// scratch stores — the main sweep's counters are untouched) and exports
+/// its verdict. Every violation counter must be zero: no accepted job
+/// lost or duplicated, every recomputed report bit-identical, no server
+/// crash, every durably-acked cache entry recovered after the simulated
+/// kill + restart.
+fn export_chaos_counters(registry: &mut MetricsRegistry) {
+    let dir = std::env::temp_dir().join(format!("droidracer-bench-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let plan = ChaosPlan::full(0xC4A055EED, &dir);
+    let report = run_soak(&plan).expect("chaos soak infrastructure");
+    std::fs::remove_dir_all(&dir).ok();
+    report.export(registry);
+    assert_eq!(report.violations(), 0, "chaos soak violations: {report:?}");
+    println!(
+        "chaos soak OK: {} scenarios, {} faults injected, {} jobs completed, \
+         {} client retries, 0 violations\n",
+        report.scenarios, report.faults_injected, report.jobs_completed, report.client_retries,
     );
 }
 

@@ -26,12 +26,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, Submission};
+pub use chaos::{run_soak, ChaosPlan, ChaosReport, Scenario};
+pub use client::{Client, ClientStats, RetryPolicy, Submission};
 pub use protocol::{Request, Response, WireError, MAX_FRAME, WIRE_VERSION};
 pub use server::{status_counter, Server, ServerConfig};
-pub use store::{job_key, Fnv64, ResultStore, StoreDiagnostic};
+pub use store::{
+    job_key, wal_record_ranges, wal_torn_tail_bytes, Fnv64, ResultStore, StoreDiagnostic,
+    WalStats, WalStore,
+};

@@ -86,6 +86,13 @@ pub enum Response {
         /// Human-readable reason.
         reason: String,
     },
+    /// The shard's admission queue is full; the job was shed *before* any
+    /// work or cache mutation, so resubmitting is always safe. The
+    /// connection stays usable.
+    Overloaded {
+        /// Server's hint for how long to back off before retrying.
+        retry_after_ms: u64,
+    },
     /// Acknowledges [`Request::Shutdown`]; the server stops accepting.
     Bye,
 }
@@ -142,6 +149,7 @@ const OP_STREAM_ACK: u8 = 0x82;
 const OP_STATUS_REPLY: u8 = 0x83;
 const OP_REJECTED: u8 = 0x84;
 const OP_BYE: u8 = 0x85;
+const OP_OVERLOADED: u8 = 0x86;
 
 /// Writes one frame (length prefix + payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
@@ -372,6 +380,11 @@ impl Response {
                 w.str(reason);
                 w.done()
             }
+            Response::Overloaded { retry_after_ms } => {
+                let mut w = BodyWriter::new(OP_OVERLOADED);
+                w.u64(*retry_after_ms);
+                w.done()
+            }
             Response::Bye => BodyWriter::new(OP_BYE).done(),
         }
     }
@@ -391,6 +404,9 @@ impl Response {
             OP_STREAM_ACK => Response::StreamAck { buffered: r.u64()? },
             OP_STATUS_REPLY => Response::Status { text: r.str()? },
             OP_REJECTED => Response::Rejected { reason: r.str()? },
+            OP_OVERLOADED => Response::Overloaded {
+                retry_after_ms: r.u64()?,
+            },
             OP_BYE => Response::Bye,
             other => return Err(WireError::UnknownOpcode(other)),
         };
@@ -437,6 +453,7 @@ mod tests {
             Response::StreamAck { buffered: u64::MAX },
             Response::Status { text: "srv.cache_hits=3\n".into() },
             Response::Rejected { reason: "unknown tenant".into() },
+            Response::Overloaded { retry_after_ms: 250 },
             Response::Bye,
         ];
         for resp in resps {

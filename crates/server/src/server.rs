@@ -20,6 +20,25 @@
 //!   is answered from the cache with zero recomputation (the tenant's
 //!   `hb.word_ops` counter does not move).
 //!
+//! On top of per-job isolation the serving layer degrades gracefully under
+//! infrastructure faults:
+//!
+//! * **admission control** — each shard's queue is bounded
+//!   ([`ServerConfig::queue_depth`]); when it fills, jobs are shed with a
+//!   typed [`Response::Overloaded`] carrying a retry-after hint instead of
+//!   queueing unboundedly (`srv.overloaded`);
+//! * **connection deadlines** — [`ServerConfig::conn_timeout_ms`] bounds
+//!   every read and write, so a stalled peer costs one timeout, not a
+//!   pinned thread forever (`srv.conn_timeouts`);
+//! * **shard supervision** — a supervisor thread per shard detects a dead
+//!   worker (a panic that escaped even the quarantine boundary), answers
+//!   the in-flight job with a `Resource` quarantine report, and respawns
+//!   the worker on the same queue (`srv.shard_respawns`);
+//! * **crash-safe cache** — with [`ServerConfig::cache_path`] set the
+//!   cache is a [`WalStore`]: inserts are fsynced to a write-ahead log
+//!   *before* the response frame is written, so an acknowledged result
+//!   survives `kill -9` at any byte offset and is recovered on restart.
+//!
 //! Accounting is per tenant through `droidracer-obs` registries: each
 //! executed job's deterministic counters (`hb.word_ops`, `trace.ops`,
 //! representative race counts) are absorbed into the owning tenant's
@@ -34,6 +53,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use droidracer_core::{
     run_isolated, AnalysisService, ExitClass, FaultHook, ItemError, JobReport, JobSpec,
@@ -42,10 +62,14 @@ use droidracer_core::{
 use droidracer_obs::{MetricsRegistry, MetricValue, Recorder};
 
 use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::store::{job_key, ResultStore};
+use crate::store::{job_key, ResultStore, WalStore};
+
+/// The retry-after hint sent with [`Response::Overloaded`].
+const RETRY_AFTER_MS: u64 = 100;
 
 /// Server tuning knobs. `Default` is permissive: any tenant, 2 shards,
-/// 8 MiB traces, no budgets, no cache persistence.
+/// 8 MiB traces, 64-deep queues, no budgets, no connection deadline, no
+/// cache persistence.
 #[derive(Clone, Default)]
 pub struct ServerConfig {
     /// Number of shard worker threads (clamped to ≥ 1).
@@ -62,11 +86,26 @@ pub struct ServerConfig {
     /// Cumulative word-ops quota per tenant; once a tenant has spent it,
     /// further jobs are refused with a `Resource` report.
     pub tenant_quota_ops: Option<u64>,
-    /// Persist the result cache here on shutdown (and preload on start).
+    /// Persist the result cache here: snapshot at this path plus a
+    /// `.wal` write-ahead log alongside it, replayed on start.
     pub cache_path: Option<PathBuf>,
+    /// Bound on each shard's admission queue (0 = default 64). A full
+    /// queue sheds with [`Response::Overloaded`] instead of queueing.
+    pub queue_depth: usize,
+    /// Per-connection read/write deadline; `None` blocks forever (the
+    /// pre-hardening behavior). A timed-out connection is dropped.
+    pub conn_timeout_ms: Option<u64>,
+    /// WAL appends between automatic snapshot compactions (0 = the
+    /// [`WalStore::DEFAULT_COMPACT_EVERY`] default).
+    pub wal_compact_every: usize,
+    /// Leave the WAL uncompacted on clean shutdown. Durability does not
+    /// need the final compaction (the log already has everything); the
+    /// chaos harness sets this to exercise WAL-only recovery.
+    pub skip_final_compaction: bool,
     /// Fault-injection hook, invoked as `job.<tenant>` on each job inside
-    /// the quarantine boundary. Test/bench only — never reachable from the
-    /// wire.
+    /// the quarantine boundary and as `shard.<tenant>` on the worker
+    /// thread *outside* it (a panic there kills the worker and exercises
+    /// the supervisor). Test/bench only — never reachable from the wire.
     pub fault_hook: Option<FaultHook>,
 }
 
@@ -82,6 +121,14 @@ impl ServerConfig {
             self.max_trace_bytes
         }
     }
+
+    fn queue_depth(&self) -> usize {
+        if self.queue_depth == 0 {
+            64
+        } else {
+            self.queue_depth
+        }
+    }
 }
 
 /// Per-tenant accounting: cumulative word-ops spent and the tenant's
@@ -92,10 +139,37 @@ struct TenantState {
     metrics: MetricsRegistry,
 }
 
+/// The in-memory cache plus, when persistence is on, its durable form.
+enum Cache {
+    Mem(ResultStore),
+    Wal(WalStore),
+}
+
+impl Cache {
+    fn get(&self, key: u64) -> Option<&JobReport> {
+        match self {
+            Cache::Mem(s) => s.get(key),
+            Cache::Wal(s) => s.get(key),
+        }
+    }
+
+    /// Inserts, durably when WAL-backed: the record is fsynced before this
+    /// returns, so callers may acknowledge the result afterwards.
+    fn insert(&mut self, key: u64, report: JobReport) -> io::Result<()> {
+        match self {
+            Cache::Mem(s) => {
+                s.insert(key, report);
+                Ok(())
+            }
+            Cache::Wal(s) => s.insert(key, report),
+        }
+    }
+}
+
 /// State shared by the acceptor, connection handlers and shard workers.
 struct Shared {
     config: ServerConfig,
-    cache: Mutex<ResultStore>,
+    cache: Mutex<Cache>,
     tenants: Mutex<BTreeMap<String, TenantState>>,
     metrics: Mutex<MetricsRegistry>,
     shutdown: AtomicBool,
@@ -239,10 +313,94 @@ fn shard_of(tenant: &str, shards: usize) -> usize {
     (job_key("tenant-shard", tenant.as_bytes()) % shards as u64) as usize
 }
 
+/// The job the shard worker is executing right now, published so the
+/// supervisor can answer it if the worker dies mid-job.
+struct InFlight {
+    tenant: String,
+    reply: mpsc::Sender<JobReport>,
+}
+
+/// One supervised shard: a worker thread pulling from a shared (Mutex'd)
+/// receiver, and a supervisor loop that respawns the worker when it dies.
+///
+/// The worker can only die from a panic *outside* the per-job quarantine
+/// boundary — in practice the `shard.<tenant>` fault hook, standing in for
+/// "anything `catch_unwind` can't contain" (abort-on-double-panic is the
+/// one real gap a same-process supervisor can't cover; the WAL covers it).
+/// The supervisor quarantines the in-flight job with a `Resource` report
+/// (same contract as `run_isolated`'s) and hands the queue — with every
+/// not-yet-started job intact — to a fresh worker.
+fn supervise_shard(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        let inflight: Arc<Mutex<Option<InFlight>>> = Arc::new(Mutex::new(None));
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || {
+                loop {
+                    // Hold the receiver lock only while dequeueing, never
+                    // while executing.
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // all senders gone: clean drain
+                    };
+                    *inflight.lock().unwrap() = Some(InFlight {
+                        tenant: job.tenant.clone(),
+                        reply: job.reply.clone(),
+                    });
+                    if let Some(hook) = &shared.config.fault_hook {
+                        // Outside run_isolated on purpose: a panic here is
+                        // a worker death, not a quarantined job.
+                        hook(&format!("shard.{}", job.tenant));
+                    }
+                    execute_job(&shared, job);
+                    *inflight.lock().unwrap() = None;
+                }
+            })
+        };
+        match worker.join() {
+            Ok(()) => return, // queue drained; shard is done
+            Err(_) => {
+                shared.bump("srv.shard_respawns");
+                if let Some(poison) = inflight.lock().unwrap().take() {
+                    shared.bump("srv.quarantined");
+                    shared.bump_tenant(&poison.tenant, "srv.quarantined", 1);
+                    let _ = poison.reply.send(JobReport::aborted(
+                        ExitClass::Resource,
+                        "shard worker died; job quarantined and worker respawned".to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Anything a connection can read and write frames on.
-trait Conn: Read + Write + Send {}
-impl Conn for TcpStream {}
-impl Conn for UnixStream {}
+trait Conn: Read + Write + Send {
+    /// Applies `timeout` to both reads and writes (`None` blocks forever).
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)?;
+        self.set_write_timeout(timeout)
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)?;
+        self.set_write_timeout(timeout)
+    }
+}
+
+/// Whether an I/O error is a connection deadline expiring (both kinds
+/// occur depending on platform and socket family).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
 
 /// Connection-local state of an open streaming upload.
 struct OpenStream {
@@ -252,10 +410,10 @@ struct OpenStream {
     buf: Vec<u8>,
 }
 
-/// Handles one client connection until EOF or shutdown.
+/// Handles one client connection until EOF, timeout, or shutdown.
 fn handle_conn(
     shared: &Shared,
-    shard_txs: &[mpsc::Sender<Job>],
+    shard_txs: &[mpsc::SyncSender<Job>],
     wake: &dyn Fn(),
     mut conn: Box<dyn Conn>,
 ) {
@@ -264,7 +422,15 @@ fn handle_conn(
         let payload = match read_frame(&mut conn) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
-            Err(_) => return, // torn frame / disconnect: drop the connection
+            Err(e) => {
+                // A stalled peer hit the connection deadline; a torn frame
+                // or disconnect just drops. Either way the connection is
+                // unusable — any stream in progress evaporates with it.
+                if is_timeout(&e) {
+                    shared.bump("srv.conn_timeouts");
+                }
+                return;
+            }
         };
         let request = match Request::decode(&payload) {
             Ok(request) => request,
@@ -357,8 +523,14 @@ fn handle_conn(
                 return;
             }
         };
-        if write_frame(&mut conn, &response.encode()).is_err() {
-            return;
+        match write_frame(&mut conn, &response.encode()) {
+            Ok(()) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    shared.bump("srv.conn_timeouts");
+                }
+                return;
+            }
         }
     }
 }
@@ -380,10 +552,13 @@ fn parse_spec(token: &str) -> Result<JobSpec, String> {
     JobSpec::from_token(token).map_err(|e| format!("bad job spec: {e}"))
 }
 
-/// Full submit path: admission → cache → shard dispatch → cache fill.
+/// Full submit path: admission → cache → bounded shard dispatch → durable
+/// cache fill. The cache insert (WAL append + fsync when persistent)
+/// happens *before* the `Response` is returned for framing, so a response
+/// the client managed to read always refers to a durable result.
 fn submit_response(
     shared: &Shared,
-    shard_txs: &[mpsc::Sender<Job>],
+    shard_txs: &[mpsc::SyncSender<Job>],
     tenant: String,
     spec_token: &str,
     trace: Vec<u8>,
@@ -435,10 +610,22 @@ fn submit_response(
         stream_chunk_ops,
         reply: reply_tx,
     };
-    if shard_txs[shard].send(job).is_err() {
-        return Response::Rejected {
-            reason: "server is shutting down".to_owned(),
-        };
+    // Bounded admission: a full queue sheds the job *before* any work or
+    // cache mutation, so the client can resubmit with no duplication risk.
+    match shard_txs[shard].try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(_)) => {
+            shared.bump("srv.overloaded");
+            shared.bump_tenant(&tenant, "srv.overloaded", 1);
+            return Response::Overloaded {
+                retry_after_ms: RETRY_AFTER_MS,
+            };
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            return Response::Rejected {
+                reason: "server is shutting down".to_owned(),
+            }
+        }
     }
     let report = match reply_rx.recv() {
         Ok(report) => report,
@@ -448,11 +635,19 @@ fn submit_response(
             }
         }
     };
-    // Cache completed batch analyses. Resource reports depend on quota
-    // state at execution time, so they are not memoizable.
+    // Cache completed batch analyses, durably (fsynced) when the cache is
+    // WAL-backed — this runs before the response frame is written, so an
+    // acknowledged report is a recoverable report. Resource reports depend
+    // on quota state at execution time, so they are not memoizable.
     if stream_chunk_ops.is_none() && report.exit != ExitClass::Resource {
-        shared.cache.lock().unwrap().insert(key, report.clone());
-        shared.bump("srv.cache_stores");
+        match shared.cache.lock().unwrap().insert(key, report.clone()) {
+            Ok(()) => shared.bump("srv.cache_stores"),
+            Err(_) => {
+                // The disk failed under the WAL; the result still serves
+                // from memory for this process's lifetime.
+                shared.bump("srv.wal_errors");
+            }
+        }
     }
     Response::Report {
         cache_hit: false,
@@ -510,32 +705,43 @@ impl Server {
         }
     }
 
-    /// Serves until a [`Request::Shutdown`] arrives, then persists the
-    /// result cache (if configured) and returns. Preloads the cache first;
-    /// corrupt cache lines are skipped (counted under
-    /// `srv.cache_load_skipped`) and healed by the shutdown save.
+    /// Serves until a [`Request::Shutdown`] arrives, then drains the
+    /// shard queues and compacts the cache (if configured and not
+    /// [`ServerConfig::skip_final_compaction`]). Opens the durable store
+    /// first: the snapshot is loaded and the write-ahead log replayed over
+    /// it, truncating any torn tail; corrupt snapshot lines and
+    /// checksum-failed WAL records are skipped (counted under
+    /// `srv.cache_load_skipped`) and healed by the next compaction.
     ///
     /// # Errors
     ///
-    /// Fatal listener errors only; per-connection errors drop that
-    /// connection.
+    /// Fatal listener or cache-I/O errors only; per-connection errors drop
+    /// that connection.
     pub fn run(self) -> io::Result<()> {
         let shared = self.shared;
         if let Some(path) = &shared.config.cache_path {
-            let (cache, diags) = ResultStore::load(path)?;
+            let (mut wal, diags) = WalStore::open(path)?;
+            if shared.config.wal_compact_every > 0 {
+                wal = wal.with_compact_every(shared.config.wal_compact_every);
+            }
+            let stats = wal.stats();
             let mut metrics = shared.metrics.lock().unwrap();
             metrics.counter_add("srv.cache_load_skipped", diags.len() as u64);
-            metrics.counter_add("srv.cache_preloaded", cache.len() as u64);
+            metrics.counter_add("srv.cache_preloaded", wal.len() as u64);
+            metrics.counter_add("srv.wal_replayed", stats.replayed);
+            metrics.counter_add("srv.wal_skipped", stats.skipped);
+            metrics.counter_add("srv.wal_torn_truncated", stats.torn_truncated);
             drop(metrics);
-            *shared.cache.lock().unwrap() = cache;
+            *shared.cache.lock().unwrap() = Cache::Wal(wal);
         }
         let shards = shared.config.shards();
+        let depth = shared.config.queue_depth();
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = mpsc::channel::<Job>();
+            let (tx, rx) = mpsc::sync_channel::<Job>(depth);
             shard_txs.push(tx);
-            shard_rxs.push(rx);
+            shard_rxs.push(Arc::new(Mutex::new(rx)));
         }
         let wake: Arc<dyn Fn() + Send + Sync> = match &self.listener {
             Listener::Tcp(l) => {
@@ -552,15 +758,12 @@ impl Server {
             }
         };
 
-        let mut workers = Vec::with_capacity(shards);
+        let mut supervisors = Vec::with_capacity(shards);
         for rx in shard_rxs {
             let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || {
-                for job in rx {
-                    execute_job(&shared, job);
-                }
-            }));
+            supervisors.push(std::thread::spawn(move || supervise_shard(shared, rx)));
         }
+        let conn_timeout = shared.config.conn_timeout_ms.map(Duration::from_millis);
         loop {
             let conn: Box<dyn Conn> = match &self.listener {
                 Listener::Tcp(l) => Box::new(l.accept()?.0),
@@ -569,6 +772,9 @@ impl Server {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            if conn.set_io_timeout(conn_timeout).is_err() {
+                continue; // can't deadline it: refuse rather than risk a pin
+            }
             let shared = Arc::clone(&shared);
             let txs = shard_txs.clone();
             let wake = Arc::clone(&wake);
@@ -576,17 +782,19 @@ impl Server {
         }
         // Dropping our senders ends the shard workers once every
         // connection's clone is gone and the queues drain; joining the
-        // workers makes the final cache save see every completed job.
+        // supervisors makes the final compaction see every completed job.
         drop(shard_txs);
-        for worker in workers {
-            let _ = worker.join();
+        for supervisor in supervisors {
+            let _ = supervisor.join();
         }
 
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
         }
-        if let Some(path) = &shared.config.cache_path {
-            shared.cache.lock().unwrap().save(path)?;
+        if !shared.config.skip_final_compaction {
+            if let Cache::Wal(wal) = &mut *shared.cache.lock().unwrap() {
+                wal.compact()?;
+            }
         }
         Ok(())
     }
@@ -596,7 +804,7 @@ impl Shared {
     fn new(config: ServerConfig) -> Self {
         Shared {
             config,
-            cache: Mutex::new(ResultStore::new()),
+            cache: Mutex::new(Cache::Mem(ResultStore::new())),
             tenants: Mutex::new(BTreeMap::new()),
             metrics: Mutex::new(MetricsRegistry::new()),
             shutdown: AtomicBool::new(false),

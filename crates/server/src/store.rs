@@ -1,17 +1,29 @@
-//! The content-addressed result cache: [`ResultStore`].
+//! The content-addressed result cache: [`ResultStore`] and its crash-safe
+//! durable form, [`WalStore`].
 //!
-//! Generalizes the text-persistence idiom of `explorer::db::ReplayDb` —
-//! a one-line header, one entry per line, corrupt lines *skipped with a
-//! diagnostic* instead of failing the load, and self-healing on save
-//! (rewriting drops every corrupt line) — from replay verdicts to analysis
-//! results. An entry maps a 64-bit content digest (spec token + trace
-//! bytes, see [`job_key`]) to a `JobReport` record; equal digests mean
-//! equal work, so a hit returns the stored report with zero recomputation.
+//! [`ResultStore`] generalizes the text-persistence idiom of
+//! `explorer::db::ReplayDb` — a one-line header, one entry per line,
+//! corrupt lines *skipped with a diagnostic* instead of failing the load,
+//! and self-healing on save (rewriting drops every corrupt line) — from
+//! replay verdicts to analysis results. An entry maps a 64-bit content
+//! digest (spec token + trace bytes, see [`job_key`]) to a `JobReport`
+//! record; equal digests mean equal work, so a hit returns the stored
+//! report with zero recomputation.
+//!
+//! [`WalStore`] layers crash safety on top: every insert is appended to a
+//! checksummed write-ahead log and fsynced *before* the caller proceeds
+//! (i.e. before the server acknowledges the job), so a `kill -9` at any
+//! byte offset loses at most the record that was mid-append. Startup
+//! replays the WAL over the last snapshot, truncating a torn tail and
+//! skipping checksum-failed records; periodic compaction folds the log
+//! into the snapshot (written atomically: temp file + rename) and resets
+//! the WAL to its header.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io;
-use std::path::Path;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use droidracer_core::JobReport;
 
@@ -197,13 +209,376 @@ impl ResultStore {
     }
 
     /// Writes the canonical serialization to `path`, healing any corrupt
-    /// lines the load skipped.
+    /// lines the load skipped. The write is atomic: the text goes to a
+    /// sibling temp file which is fsynced and then renamed over `path`, so
+    /// a crash mid-save can never leave a torn snapshot — readers see
+    /// either the old file or the new one, whole.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_text())
+        let tmp = sibling_tmp(path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The temp-file path `save` stages its atomic rename through.
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+/// Header line of the WAL file; replay of a file with any other first line
+/// starts the log over (the WAL is a redo log over the snapshot — dropping
+/// it only costs recomputation, never correctness).
+const WAL_HEADER: &str = "droidracer-wal v1\n";
+
+/// Fixed byte length of one WAL record's prefix:
+/// `R <key:016x> <len:08x> <sum:016x> ` — marker, three hex fields, four
+/// separators. The record body (`JobReport::to_record` bytes) follows,
+/// then one `\n`.
+const WAL_PREFIX: usize = 2 + 16 + 1 + 8 + 1 + 16 + 1;
+
+/// Encodes one WAL record: fixed-width prefix (key, body length, FNV-1a
+/// checksum of the body) + body + newline. The explicit length lets replay
+/// skip a checksum-failed record precisely; the checksum catches bit rot
+/// and torn writes inside the body.
+fn wal_encode(key: u64, body: &[u8]) -> Vec<u8> {
+    let mut sum = Fnv64::new();
+    sum.update(body);
+    let mut out = Vec::with_capacity(WAL_PREFIX + body.len() + 1);
+    out.extend_from_slice(
+        format!("R {key:016x} {:08x} {:016x} ", body.len(), sum.finish()).as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out.push(b'\n');
+    out
+}
+
+/// How replay classified one span of the WAL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WalSpan {
+    /// A structurally complete record: `(key, body_range)`. The checksum
+    /// may still fail — the caller verifies it.
+    Record(u64, std::ops::Range<usize>),
+    /// The bytes from here to EOF are a torn tail (an append that never
+    /// finished, or a prefix too mangled to resync past).
+    Torn,
+}
+
+/// Parses the next WAL span at `pos`. Returns the span and the position of
+/// the following span (`None` after a torn tail).
+fn wal_next(bytes: &[u8], pos: usize) -> Option<(WalSpan, Option<usize>)> {
+    if pos >= bytes.len() {
+        return None;
+    }
+    let prefix = match bytes.get(pos..pos + WAL_PREFIX) {
+        Some(p) => p,
+        None => return Some((WalSpan::Torn, None)),
+    };
+    let structural = prefix.starts_with(b"R ")
+        && prefix[18] == b' '
+        && prefix[27] == b' '
+        && prefix[WAL_PREFIX - 1] == b' ';
+    let fields = structural
+        .then(|| std::str::from_utf8(&prefix[2..WAL_PREFIX - 1]).ok())
+        .flatten()
+        .and_then(|s| {
+            let mut it = s.split(' ');
+            let key = u64::from_str_radix(it.next()?, 16).ok()?;
+            let len = usize::from_str_radix(it.next()?, 16).ok()?;
+            let sum = u64::from_str_radix(it.next()?, 16).ok()?;
+            Some((key, len, sum))
+        });
+    let Some((key, len, _)) = fields else {
+        // The prefix itself is mangled: without a trustworthy length there
+        // is no safe way to resync, so everything from here is torn.
+        return Some((WalSpan::Torn, None));
+    };
+    let body_start = pos + WAL_PREFIX;
+    let end = body_start.checked_add(len).and_then(|e| e.checked_add(1));
+    match end {
+        Some(end) if end <= bytes.len() && bytes[end - 1] == b'\n' => {
+            Some((WalSpan::Record(key, body_start..end - 1), Some(end)))
+        }
+        // The record ran past EOF (or the terminator is missing): the
+        // append was torn mid-write.
+        _ => Some((WalSpan::Torn, None)),
+    }
+}
+
+/// Verifies a structurally complete record's checksum.
+fn wal_checksum_ok(bytes: &[u8], span: &std::ops::Range<usize>, declared: &[u8]) -> bool {
+    let mut sum = Fnv64::new();
+    sum.update(&bytes[span.clone()]);
+    format!("{:016x}", sum.finish()).as_bytes() == declared
+}
+
+/// Byte ranges of every structurally complete record body in a WAL image,
+/// in file order. Exposed for the chaos harness and tests, which use it to
+/// aim disk faults at precise record boundaries.
+pub fn wal_record_ranges(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut pos = WAL_HEADER.len();
+    if !bytes.starts_with(WAL_HEADER.as_bytes()) {
+        return ranges;
+    }
+    while let Some((span, next)) = wal_next(bytes, pos) {
+        if let WalSpan::Record(_, body) = span {
+            ranges.push(body);
+        }
+        match next {
+            Some(n) => pos = n,
+            None => break,
+        }
+    }
+    ranges
+}
+
+/// A fully encoded WAL record for `key`/`body`, exposed so fault
+/// harnesses can append *prefixes* of it to a log, simulating a crash
+/// mid-append (the torn tail replay must truncate).
+pub fn wal_torn_tail_bytes(key: u64, body: &[u8]) -> Vec<u8> {
+    wal_encode(key, body)
+}
+
+/// Replay statistics of one [`WalStore::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records replayed from the WAL into the in-memory store.
+    pub replayed: u64,
+    /// Structurally complete records dropped for a checksum or record-parse
+    /// failure (disk corruption inside one record; its neighbors survive).
+    pub skipped: u64,
+    /// 1 if a torn tail was truncated during replay (a crash mid-append).
+    pub torn_truncated: u64,
+    /// Records appended since the last compaction.
+    pub appended: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+}
+
+/// A crash-safe [`ResultStore`]: snapshot + append-only write-ahead log.
+/// See the [module docs](self) for the durability contract.
+#[derive(Debug)]
+pub struct WalStore {
+    mem: ResultStore,
+    snapshot: PathBuf,
+    wal_path: PathBuf,
+    wal: File,
+    /// Records in the WAL file right now (replayed + appended since open).
+    wal_records: usize,
+    /// Appends between automatic compactions.
+    compact_every: usize,
+    stats: WalStats,
+}
+
+impl WalStore {
+    /// Default append count between automatic compactions.
+    pub const DEFAULT_COMPACT_EVERY: usize = 1024;
+
+    /// The WAL file that rides alongside a snapshot at `snapshot`.
+    pub fn wal_path(snapshot: &Path) -> PathBuf {
+        let mut name = snapshot.file_name().unwrap_or_default().to_os_string();
+        name.push(".wal");
+        snapshot.with_file_name(name)
+    }
+
+    /// Opens (or creates) the durable store rooted at `snapshot`: loads the
+    /// snapshot (self-healing, as [`ResultStore::load`]), replays the WAL
+    /// over it, truncates any torn tail so appends resume at a clean
+    /// boundary, and leaves the log open for appending.
+    ///
+    /// # Errors
+    ///
+    /// Genuine I/O failures only; every *content* problem (corrupt
+    /// snapshot lines, checksum-failed or torn WAL records) becomes a
+    /// diagnostic and is healed by the next compaction.
+    pub fn open(snapshot: &Path) -> io::Result<(Self, Vec<StoreDiagnostic>)> {
+        let (mem, mut diags) = ResultStore::load(snapshot)?;
+        let wal_path = Self::wal_path(snapshot);
+        let mut store = WalStore {
+            mem,
+            snapshot: snapshot.to_owned(),
+            wal_path: wal_path.clone(),
+            wal: OpenOptions::new()
+                .read(true)
+                .create(true)
+                .append(true)
+                .open(&wal_path)?,
+            wal_records: 0,
+            compact_every: Self::DEFAULT_COMPACT_EVERY,
+            stats: WalStats::default(),
+        };
+        store.replay(&mut diags)?;
+        Ok((store, diags))
+    }
+
+    /// Sets the automatic-compaction threshold (appends since the last
+    /// compaction; clamped to ≥ 1).
+    pub fn with_compact_every(mut self, every: usize) -> Self {
+        self.compact_every = every.max(1);
+        self
+    }
+
+    /// Replays the WAL into memory. Truncates the file at the first torn
+    /// byte so subsequent appends land on a clean record boundary.
+    fn replay(&mut self, diags: &mut Vec<StoreDiagnostic>) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            self.wal.write_all(WAL_HEADER.as_bytes())?;
+            self.wal.sync_data()?;
+            return Ok(());
+        }
+        if !bytes.starts_with(WAL_HEADER.as_bytes()) {
+            diags.push(StoreDiagnostic {
+                line: 1,
+                message: "unrecognized WAL header; restarting the log".to_owned(),
+            });
+            self.truncate_to(0)?;
+            self.wal.write_all(WAL_HEADER.as_bytes())?;
+            self.wal.sync_data()?;
+            return Ok(());
+        }
+        let mut pos = WAL_HEADER.len();
+        let mut record_no = 0usize;
+        while let Some((span, next)) = wal_next(&bytes, pos) {
+            record_no += 1;
+            match span {
+                WalSpan::Record(key, body) => {
+                    let declared = &bytes[pos + 28..pos + 44];
+                    let applied = wal_checksum_ok(&bytes, &body, declared)
+                        .then(|| std::str::from_utf8(&bytes[body.clone()]).ok())
+                        .flatten()
+                        .and_then(|text| JobReport::from_record(text).ok());
+                    match applied {
+                        Some(report) => {
+                            self.mem.insert(key, report);
+                            self.stats.replayed += 1;
+                        }
+                        None => {
+                            self.stats.skipped += 1;
+                            diags.push(StoreDiagnostic {
+                                line: record_no,
+                                message: format!(
+                                    "WAL record {record_no} (digest {key:016x}) failed its \
+                                     checksum or parse; skipped"
+                                ),
+                            });
+                        }
+                    }
+                }
+                WalSpan::Torn => {
+                    self.stats.torn_truncated += 1;
+                    diags.push(StoreDiagnostic {
+                        line: record_no,
+                        message: format!(
+                            "torn WAL tail at byte {pos} ({} bytes dropped)",
+                            bytes.len() - pos
+                        ),
+                    });
+                    self.truncate_to(pos as u64)?;
+                    break;
+                }
+            }
+            match next {
+                Some(n) => pos = n,
+                None => break,
+            }
+        }
+        self.wal_records = record_no - usize::from(self.stats.torn_truncated > 0);
+        Ok(())
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.wal.set_len(len)?;
+        self.wal.seek(SeekFrom::End(0))?;
+        self.wal.sync_data()
+    }
+
+    /// Cached reports currently in memory.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether the store holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Looks up a report by digest (memory only — never touches disk).
+    pub fn get(&self, key: u64) -> Option<&JobReport> {
+        self.mem.get(key)
+    }
+
+    /// Replay/append statistics since open.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Stores `report` under `key` durably: the record is appended to the
+    /// WAL and fsynced before this returns, so once the caller acknowledges
+    /// the result, a crash at any byte offset cannot lose it. Triggers an
+    /// automatic compaction once `compact_every` appends accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the in-memory insert has already happened
+    /// (a failed disk is degraded durability, not a lost result for this
+    /// process's lifetime).
+    pub fn insert(&mut self, key: u64, report: JobReport) -> io::Result<()> {
+        let body = report.to_record();
+        self.mem.insert(key, report);
+        self.wal.write_all(&wal_encode(key, body.as_bytes()))?;
+        self.wal.sync_data()?;
+        self.wal_records += 1;
+        self.stats.appended += 1;
+        if self.wal_records >= self.compact_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Folds the log into the snapshot: writes the full store atomically
+    /// to the snapshot path ([`ResultStore::save`]: temp + rename), then
+    /// resets the WAL to its header. A crash between the two steps only
+    /// replays records that are already in the snapshot — replay is
+    /// idempotent (last writer wins on equal keys).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn compact(&mut self) -> io::Result<()> {
+        self.mem.save(&self.snapshot)?;
+        self.truncate_to(0)?;
+        self.wal.write_all(WAL_HEADER.as_bytes())?;
+        self.wal.sync_data()?;
+        self.wal_records = 0;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// The snapshot path this store compacts to.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot
+    }
+
+    /// The live WAL path.
+    pub fn log_path(&self) -> &Path {
+        &self.wal_path
     }
 }
 
@@ -266,6 +641,135 @@ mod tests {
         assert!(diags[0].message.contains("unrecognized header"));
         let (store, diags) = ResultStore::from_text("");
         assert!(store.is_empty() && diags.is_empty());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("walstore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_survives_reopen_without_compaction() {
+        let dir = temp_dir("reopen");
+        let snap = dir.join("cache.txt");
+        {
+            let (mut store, diags) = WalStore::open(&snap).unwrap();
+            assert!(diags.is_empty());
+            store.insert(7, sample_report("seven")).unwrap();
+            store.insert(9, sample_report("nine")).unwrap();
+            // No compact(), no snapshot save: dropping here models a crash
+            // after the acks.
+        }
+        assert!(!snap.exists(), "nothing compacted to the snapshot yet");
+        let (store, diags) = WalStore::open(&snap).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(store.stats().replayed, 2);
+        assert_eq!(store.get(7), Some(&sample_report("seven")));
+        assert_eq!(store.get(9), Some(&sample_report("nine")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = temp_dir("torn");
+        let snap = dir.join("cache.txt");
+        {
+            let (mut store, _) = WalStore::open(&snap).unwrap();
+            store.insert(1, sample_report("whole")).unwrap();
+        }
+        let wal = WalStore::wal_path(&snap);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let whole_len = bytes.len();
+        // Simulate a crash mid-append: half of a second record.
+        let torn = wal_encode(2, sample_report("torn").to_record().as_bytes());
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&wal, &bytes).unwrap();
+        let (mut store, diags) = WalStore::open(&snap).unwrap();
+        assert_eq!(store.stats().torn_truncated, 1);
+        assert_eq!(store.stats().replayed, 1);
+        assert!(diags.iter().any(|d| d.message.contains("torn WAL tail")), "{diags:?}");
+        assert_eq!(store.get(1), Some(&sample_report("whole")));
+        assert_eq!(store.get(2), None, "the in-flight record is lost, nothing else");
+        assert_eq!(
+            std::fs::metadata(&wal).unwrap().len(),
+            whole_len as u64,
+            "tail truncated back to the last whole record"
+        );
+        // Appends resume on the clean boundary and replay afterwards.
+        store.insert(3, sample_report("after")).unwrap();
+        drop(store);
+        let (store, diags) = WalStore::open(&snap).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(store.stats().replayed, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_but_neighbors_survive() {
+        let dir = temp_dir("corrupt");
+        let snap = dir.join("cache.txt");
+        {
+            let (mut store, _) = WalStore::open(&snap).unwrap();
+            store.insert(1, sample_report("first")).unwrap();
+            store.insert(2, sample_report("second")).unwrap();
+            store.insert(3, sample_report("third")).unwrap();
+        }
+        let wal = WalStore::wal_path(&snap);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let ranges = wal_record_ranges(&bytes);
+        assert_eq!(ranges.len(), 3);
+        // Flip a byte inside the second record's body.
+        let mid = (ranges[1].start + ranges[1].end) / 2;
+        bytes[mid] ^= 0x41;
+        std::fs::write(&wal, &bytes).unwrap();
+        let (store, diags) = WalStore::open(&snap).unwrap();
+        assert_eq!(store.stats().skipped, 1, "{diags:?}");
+        assert_eq!(store.stats().replayed, 2);
+        assert_eq!(store.get(1), Some(&sample_report("first")));
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.get(3), Some(&sample_report("third")), "records after the flip survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let dir = temp_dir("compact");
+        let snap = dir.join("cache.txt");
+        {
+            let (store, _) = WalStore::open(&snap).unwrap();
+            let mut store = store.with_compact_every(2);
+            store.insert(1, sample_report("a")).unwrap();
+            assert_eq!(store.stats().compactions, 0);
+            store.insert(2, sample_report("b")).unwrap();
+            assert_eq!(store.stats().compactions, 1, "threshold reached");
+            store.insert(3, sample_report("c")).unwrap();
+        }
+        // Snapshot holds the compacted entries; the WAL holds only the one
+        // appended after compaction.
+        let (snap_only, _) = ResultStore::load(&snap).unwrap();
+        assert_eq!(snap_only.len(), 2);
+        let wal_bytes = std::fs::read(WalStore::wal_path(&snap)).unwrap();
+        assert_eq!(wal_record_ranges(&wal_bytes).len(), 1);
+        let (store, diags) = WalStore::open(&snap).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(store.len(), 3, "snapshot + replayed record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_via_temp_and_rename() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("cache.txt");
+        let mut store = ResultStore::new();
+        store.insert(5, sample_report("x"));
+        store.save(&path).unwrap();
+        assert!(!sibling_tmp(&path).exists(), "temp staging file renamed away");
+        let (back, diags) = ResultStore::load(&path).unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(back.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

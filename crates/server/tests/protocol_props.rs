@@ -58,6 +58,8 @@ proptest! {
         prop_assert_eq!(Response::decode(&report.encode()).unwrap(), report);
         let ack = Response::StreamAck { buffered };
         prop_assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+        let shed = Response::Overloaded { retry_after_ms: buffered };
+        prop_assert_eq!(Response::decode(&shed.encode()).unwrap(), shed);
         prop_assert_eq!(Response::decode(&Response::Bye.encode()).unwrap(), Response::Bye);
     }
 

@@ -214,6 +214,78 @@ fn panicking_job_is_quarantined_and_shard_survives() {
 }
 
 #[test]
+fn full_queue_sheds_with_overloaded_and_retry_policy_rides_it_out() {
+    use droidracer_server::RetryPolicy;
+
+    // One shard, one queue slot, and a worker that naps on every job: the
+    // first job occupies the worker, the second fills the queue, and
+    // everything past that must be shed with a typed Overloaded.
+    let config = ServerConfig {
+        shards: 1,
+        queue_depth: 1,
+        fault_hook: Some(Arc::new(|phase: &str| {
+            if phase.starts_with("shard.") {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = start_tcp(config);
+    let text = racy_text();
+
+    // Fire more concurrent no-retry submissions than worker + queue can
+    // hold. Distinct specs (per-thread deadline values) dodge the cache.
+    let mut handles = Vec::new();
+    for i in 0..6u64 {
+        let addr = addr.clone();
+        let text = text.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect_tcp(&addr, "flood").expect("connect");
+            let spec = JobSpec {
+                deadline_ms: Some(60_000 + i),
+                ..JobSpec::default()
+            };
+            c.submit_trace(&spec, &text).expect("transport ok")
+        }));
+    }
+    let results: Vec<Submission> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed = results
+        .iter()
+        .filter(|s| matches!(s, Submission::Overloaded { .. }))
+        .count();
+    let done = results.iter().filter(|s| s.report().is_some()).count();
+    assert!(shed >= 1, "a 1-deep queue under 6 concurrent jobs must shed: {results:?}");
+    assert!(done >= 1, "the queue must still serve someone: {results:?}");
+    if let Some(Submission::Overloaded { retry_after_ms }) =
+        results.iter().find(|s| matches!(s, Submission::Overloaded { .. }))
+    {
+        assert!(*retry_after_ms > 0, "retry-after hint must be actionable");
+    }
+
+    // A retry-policy client treats Overloaded as backpressure, not
+    // failure: it backs off (honoring the hint) until the queue drains.
+    let mut patient = Client::connect_tcp(&addr, "patient")
+        .expect("connect")
+        .with_retry_policy(RetryPolicy {
+            max_retries: 20,
+            base_backoff_ms: 25,
+            max_backoff_ms: 200,
+            deadline_ms: Some(30_000),
+            ..RetryPolicy::standard()
+        })
+        .expect("policy");
+    let sub = patient.submit_trace(&JobSpec::default(), &text).expect("submit");
+    assert!(sub.report().is_some(), "retrying client must eventually land: {sub:?}");
+
+    let status = patient.status().expect("status");
+    assert!(status_counter(&status, "srv.overloaded").unwrap_or(0) >= 1, "{status}");
+
+    patient.shutdown().expect("shutdown");
+    drop(patient);
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
 fn unix_socket_and_cache_persistence() {
     let dir = std::env::temp_dir().join(format!("droidracer-server-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -273,6 +345,43 @@ fn invalid_and_torn_traffic_keeps_the_connection_and_server_alive() {
     // The polite client still works.
     let ok = client.submit_trace(&JobSpec::default(), &racy_text()).unwrap();
     assert!(ok.report().is_some());
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn lazy_client_retries_cover_a_server_that_starts_late() {
+    use droidracer_server::RetryPolicy;
+
+    // Reserve an ephemeral port, release it, and only bring the server up
+    // on it after a delay: the lazy client's first dials are refused and
+    // must be absorbed by the retry budget, not returned as an error.
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("probe addr").port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let server_addr = addr.clone();
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let server = Server::bind_tcp(&server_addr, ServerConfig::default()).expect("bind");
+        server.run()
+    });
+
+    let mut client = Client::lazy_tcp(&addr, "late").with_retry_policy(RetryPolicy {
+        max_retries: 50,
+        base_backoff_ms: 10,
+        max_backoff_ms: 50,
+        deadline_ms: Some(30_000),
+        ..RetryPolicy::standard()
+    })
+    .expect("policy");
+    let sub = client.submit_trace(&JobSpec::default(), &racy_text()).expect("submit");
+    assert_eq!(sub.report().expect("completed").exit, ExitClass::Races);
+    assert!(client.stats().retries > 0, "the refused dials must have cost retries");
+    assert_eq!(client.stats().gave_up, 0);
+
     client.shutdown().expect("shutdown");
     drop(client);
     server.join().expect("join").expect("clean run");

@@ -20,11 +20,12 @@
 //! droidracer serve [--listen ADDR|--socket PATH] [--shards N]
 //!                  [--tenants a,b,c] [--max-trace-bytes N] [--cache FILE]
 //!                  [--tenant-quota-ops N] [--max-job-ops N]
-//!                  [--max-job-matrix-bits N]
+//!                  [--max-job-matrix-bits N] [--queue-depth N]
+//!                  [--conn-timeout-ms MS]
 //! droidracer submit <trace-file> [--connect ADDR|--socket PATH]
 //!                   [--tenant NAME] [--stream] [--chunk-ops N]
 //!                   [--mode MODE] [--no-merge] [--validate] [--lenient]
-//!                   [budget flags]
+//!                   [--retries N] [--retry-timeout-ms MS] [budget flags]
 //! droidracer submit --status|--shutdown [--connect ADDR|--socket PATH]
 //! ```
 //!
@@ -55,7 +56,7 @@ use droidracer::core::{
 use droidracer::fuzz::{corpus::replay_regressions, corpus::save_regression, FuzzConfig};
 use droidracer::core::JobSpec;
 use droidracer::obs::{chrome_trace, render_span_tree, MetricsRegistry, Recorder};
-use droidracer::server::{Client, Server, ServerConfig, Submission};
+use droidracer::server::{Client, RetryPolicy, Server, ServerConfig, Submission};
 use droidracer::trace::{
     from_text, from_text_lenient, to_text, validate, ChunkedReader, Names, Trace, TraceStats,
 };
@@ -112,13 +113,23 @@ fn usage() -> ExitCode {
       --tenant-quota-ops N cumulative word-ops quota per tenant
       --max-job-ops N   per-job analysis work cap
       --max-job-matrix-bits N  per-job matrix allocation cap
+      --queue-depth N   per-shard admission queue; full queues shed load
+                        with a typed Overloaded response (default 64)
+      --conn-timeout-ms MS  per-connection read/write deadline; slow or
+                        stalled peers are disconnected (default: none)
       --cache FILE      persist the result cache across restarts
+                        (crash-safe: appends to FILE.wal, compacts on
+                        shutdown)
   droidracer submit <trace-file> [options]
       --connect ADDR    server TCP address (default 127.0.0.1:7911)
       --socket PATH     connect over a Unix socket instead
       --tenant NAME     tenant identity (default `cli`)
       --stream          drive the server's streaming engine
       --chunk-ops N     streaming chunk size in ops (default 64)
+      --retries N       retry transient failures and shed load up to N
+                        times with jittered exponential backoff;
+                        exhausted retries exit 3 (default 0: fail fast)
+      --retry-timeout-ms MS  wall-clock budget across all attempts
       --mode / --no-merge / --validate / --lenient   as for analyze
       --max-ops / --max-matrix-bits / --deadline-ms  job budget
   droidracer submit --status|--shutdown [--connect|--socket|--tenant]
@@ -856,6 +867,16 @@ fn parse_serve_opts(args: &[String]) -> Option<ServeOpts> {
                 opts.config.cache_path = Some(args.get(i + 1)?.into());
                 i += 2;
             }
+            "--queue-depth" => {
+                opts.config.queue_depth =
+                    args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--conn-timeout-ms" => {
+                opts.config.conn_timeout_ms =
+                    Some(args.get(i + 1).and_then(|s| parse_u64(s)).filter(|&n| n > 0)?);
+                i += 2;
+            }
             _ => return None,
         }
     }
@@ -910,6 +931,24 @@ struct SubmitOpts {
     spec: JobSpec,
     stream: bool,
     chunk_ops: usize,
+    retries: u32,
+    retry_timeout_ms: Option<u64>,
+}
+
+impl SubmitOpts {
+    /// The retry policy these flags ask for: fail-fast by default, the
+    /// standard backoff schedule (with an optional overall deadline) when
+    /// `--retries` is given.
+    fn retry_policy(&self) -> RetryPolicy {
+        if self.retries == 0 && self.retry_timeout_ms.is_none() {
+            return RetryPolicy::none();
+        }
+        RetryPolicy {
+            max_retries: self.retries,
+            deadline_ms: self.retry_timeout_ms,
+            ..RetryPolicy::standard()
+        }
+    }
 }
 
 fn parse_submit_opts(args: &[String]) -> Option<SubmitOpts> {
@@ -921,6 +960,8 @@ fn parse_submit_opts(args: &[String]) -> Option<SubmitOpts> {
         spec: JobSpec::default(),
         stream: false,
         chunk_ops: 64,
+        retries: 0,
+        retry_timeout_ms: None,
     };
     let mut path: Option<String> = None;
     let mut status = false;
@@ -954,6 +995,15 @@ fn parse_submit_opts(args: &[String]) -> Option<SubmitOpts> {
             }
             "--chunk-ops" => {
                 opts.chunk_ops = args.get(i + 1).and_then(|s| s.parse().ok()).filter(|&n| n > 0)?;
+                i += 2;
+            }
+            "--retries" => {
+                opts.retries = args.get(i + 1).and_then(|s| s.parse().ok())?;
+                i += 2;
+            }
+            "--retry-timeout-ms" => {
+                opts.retry_timeout_ms =
+                    Some(args.get(i + 1).and_then(|s| parse_u64(s)).filter(|&n| n > 0)?);
                 i += 2;
             }
             "--mode" => {
@@ -1004,10 +1054,13 @@ fn parse_submit_opts(args: &[String]) -> Option<SubmitOpts> {
 }
 
 fn cmd_submit(opts: &SubmitOpts) -> Result<ExitCode, Error> {
+    // Lazy construction: the first dial happens inside the retry loop, so
+    // `--retries` also covers a server that is briefly down or restarting.
     let mut client = match &opts.socket {
-        Some(path) => Client::connect_unix(std::path::Path::new(path), opts.tenant.clone())?,
-        None => Client::connect_tcp(&opts.connect, opts.tenant.clone())?,
-    };
+        Some(path) => Client::lazy_unix(std::path::Path::new(path), opts.tenant.clone()),
+        None => Client::lazy_tcp(&opts.connect, opts.tenant.clone()),
+    }
+    .with_retry_policy(opts.retry_policy())?;
     let path = match &opts.action {
         SubmitAction::Status => {
             print!("{}", client.status()?);
@@ -1034,6 +1087,13 @@ fn cmd_submit(opts: &SubmitOpts) -> Result<ExitCode, Error> {
         }
         Submission::Rejected { reason } => {
             eprintln!("rejected: {reason}");
+            Ok(ExitCode::from(EXIT_FATAL))
+        }
+        // Load shedding that outlasted the retry budget (or was met with
+        // `--retries 0`): a transient refusal, reported as fatal so scripts
+        // distinguish "try again later" from a clean/raced/quarantined job.
+        Submission::Overloaded { retry_after_ms } => {
+            eprintln!("server overloaded; retry after {retry_after_ms} ms");
             Ok(ExitCode::from(EXIT_FATAL))
         }
     }
